@@ -1,0 +1,18 @@
+package bioenrich
+
+import (
+	"bioenrich/internal/corpus"
+	"bioenrich/internal/ml"
+	"bioenrich/internal/termex"
+	"bioenrich/internal/textutil"
+)
+
+// Small aliases keeping bench_test.go readable.
+
+func experimentsClassifier() ml.Classifier { return ml.NewLogisticRegression() }
+
+var lidfMeasure = termex.LIDF
+
+func newExtractor(c *corpus.Corpus) *termex.Extractor { return termex.NewExtractor(c) }
+
+func newCorpus(lang textutil.Lang) *corpus.Corpus { return corpus.New(lang) }

@@ -1,0 +1,279 @@
+package bioenrich
+
+// One benchmark per table/figure of the paper's evaluation section.
+// Each bench runs the corresponding experiment (at a reduced size where
+// the full protocol takes minutes; cmd/tables runs full scale) and
+// reports the experiment's quality numbers as custom benchmark metrics,
+// so `go test -bench . -benchmem` both times the pipeline and
+// regenerates the paper's values.
+
+import (
+	"testing"
+
+	"bioenrich/internal/cluster"
+	"bioenrich/internal/experiments"
+	"bioenrich/internal/linkage"
+	"bioenrich/internal/polysemy"
+	"bioenrich/internal/relext"
+	"bioenrich/internal/senseind"
+	"bioenrich/internal/synth"
+	"bioenrich/internal/textutil"
+)
+
+// BenchmarkTable1PolysemyStats regenerates Table 1: the polysemic-term
+// histogram of the six metathesauri (UMLS/MeSH × EN/FR/ES), generated
+// at 1/2000 of the paper's sizes with exactly the paper's marginal
+// shape.
+func BenchmarkTable1PolysemyStats(b *testing.B) {
+	var k2 int
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1(2000, 1)
+		k2 = rows[0].Generated[2]
+	}
+	b.ReportMetric(float64(k2), "umls-en-k2-terms")
+}
+
+// BenchmarkTable2InternalIndexes regenerates Table 2's behaviour: the
+// five internal indexes swept over k = 2..5 on a known-k entity.
+func BenchmarkTable2InternalIndexes(b *testing.B) {
+	var ckSelected int
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(3, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Index == cluster.CK {
+				ckSelected = r.Selected
+			}
+		}
+	}
+	b.ReportMetric(float64(ckSelected), "ck-selected-k")
+}
+
+// BenchmarkE1SenseNumberPrediction regenerates the paper's §3(i)
+// headline (sense-number prediction accuracy; paper max 93.1% via
+// max(fk)) on a reduced grid: all five indexes, direct algorithm,
+// bag-of-words, 60 entities. cmd/tables -table e1 runs the full
+// 5×5×2 grid over 203 entities.
+func BenchmarkE1SenseNumberPrediction(b *testing.B) {
+	opts := experiments.DefaultE1Options()
+	opts.Entities = 60
+	opts.ContextsPerSense = 20
+	opts.Algorithms = []cluster.Algorithm{cluster.Direct}
+	opts.Representations = []senseind.Representation{senseind.BagOfWords}
+	var best, fk float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.E1(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		best = cells[0].Accuracy
+		for _, c := range cells {
+			if c.Index == cluster.FK {
+				fk = c.Accuracy
+			}
+		}
+	}
+	b.ReportMetric(best, "best-accuracy")
+	b.ReportMetric(fk, "fk-accuracy")
+}
+
+// BenchmarkPolysemyDetection regenerates the paper's §2(II) headline
+// (23-feature polysemy detection, F-measure ≈ 98%) with logistic
+// regression and a reduced term set. cmd/tables -table e2 runs the
+// full classifier panel.
+func BenchmarkPolysemyDetection(b *testing.B) {
+	gen := synth.DefaultPolysemyOptions()
+	gen.NumPolysemic, gen.NumMonosemic = 20, 20
+	gen.ContextsPerTerm = 25
+	set := synth.GeneratePolysemySet(gen)
+	b.ResetTimer()
+	var f1 float64
+	for i := 0; i < b.N; i++ {
+		conf, err := polysemy.CrossValidate(set.Corpus, set.Polysemic, set.Monosemic,
+			experimentsClassifier, polysemy.AllFeatures, 5, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f1 = conf.F1()
+	}
+	b.ReportMetric(f1, "F1")
+}
+
+// BenchmarkTable3Propositions regenerates Table 3: the top-10 position
+// proposals for one held-out term on the synthetic mesh.
+func BenchmarkTable3Propositions(b *testing.B) {
+	var correct int
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table3(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		correct = 0
+		for _, ok := range res.Correct {
+			if ok {
+				correct++
+			}
+		}
+	}
+	b.ReportMetric(float64(correct), "correct-of-10")
+}
+
+// BenchmarkTable4LinkagePrecision regenerates Table 4 (P@1/2/5/10 over
+// held-out terms; paper: .333/.400/.500/.583) with 20 terms per
+// iteration. cmd/tables -table 4 runs the paper's 60.
+func BenchmarkTable4LinkagePrecision(b *testing.B) {
+	opts := experiments.DefaultTable4Options()
+	opts.Terms = 20
+	var res *linkage.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Table4(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.PrecisionAt[1], "P@1")
+	b.ReportMetric(res.PrecisionAt[2], "P@2")
+	b.ReportMetric(res.PrecisionAt[5], "P@5")
+	b.ReportMetric(res.PrecisionAt[10], "P@10")
+}
+
+// ---- component micro-benchmarks (the substrate the tables run on) ----
+
+// BenchmarkTermExtraction times step I over the synthetic corpus.
+func BenchmarkTermExtraction(b *testing.B) {
+	m := synth.GenerateMesh(synth.DefaultMeshOptions())
+	copts := synth.DefaultCorpusOptions()
+	copts.DocsPerConcept = 3
+	c := synth.GenerateMeshCorpus(m, copts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ext := newExtractor(c)
+		if _, err := ext.Rank(lidfMeasure, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusteringAlgorithms times each of the five algorithms on a
+// typical entity's context set (k = 3).
+func BenchmarkClusteringAlgorithms(b *testing.B) {
+	wsd := synth.DefaultWSDOptions()
+	wsd.NumEntities = 1
+	ds := synth.GenerateMSHWSD(wsd)
+	vecs := senseind.Vectorize(ds.Entities[0].Contexts, senseind.BagOfWords)
+	for _, alg := range cluster.Algorithms {
+		b.Run(string(alg), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster.Run(alg, vecs, 3, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFeatureExtraction times the 23-feature computation of step II.
+func BenchmarkFeatureExtraction(b *testing.B) {
+	gen := synth.DefaultPolysemyOptions()
+	gen.NumPolysemic, gen.NumMonosemic = 2, 2
+	gen.ContextsPerTerm = 30
+	set := synth.GeneratePolysemySet(gen)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		polysemy.Extract(set.Corpus, set.Polysemic[0])
+	}
+}
+
+// BenchmarkCorpusIndexing times the inverted-index build.
+func BenchmarkCorpusIndexing(b *testing.B) {
+	m := synth.GenerateMesh(synth.DefaultMeshOptions())
+	c := synth.GenerateMeshCorpus(m, synth.DefaultCorpusOptions())
+	docs := c.Documents()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fresh := newCorpus(textutil.English)
+		fresh.AddAll(docs)
+		fresh.Build()
+	}
+}
+
+// ---- ablation benchmarks (DESIGN.md's ablation index) ----
+
+// BenchmarkE1IndexAblation sweeps all six indexes — the paper's five
+// plus the classic silhouette baseline — on a reduced entity set.
+func BenchmarkE1IndexAblation(b *testing.B) {
+	opts := experiments.DefaultE1Options()
+	opts.Entities = 40
+	opts.ContextsPerSense = 15
+	opts.Algorithms = []cluster.Algorithm{cluster.Direct}
+	opts.Indexes = append(append([]cluster.Index{}, cluster.Indexes...), cluster.Silhouette)
+	opts.Representations = []senseind.Representation{senseind.BagOfWords}
+	var silAcc, fkAcc float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.E1(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cells {
+			switch c.Index {
+			case cluster.Silhouette:
+				silAcc = c.Accuracy
+			case cluster.FK:
+				fkAcc = c.Accuracy
+			}
+		}
+	}
+	b.ReportMetric(silAcc, "silhouette-accuracy")
+	b.ReportMetric(fkAcc, "fk-accuracy")
+}
+
+// BenchmarkTable4NoExpansion runs the Table 4 protocol with the
+// fathers/sons expansion disabled (neighbors-only linkage).
+func BenchmarkTable4NoExpansion(b *testing.B) {
+	opts := experiments.DefaultTable4Options()
+	opts.Terms = 20
+	opts.ExpandFathers, opts.ExpandSons = false, false
+	var res *linkage.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Table4(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.PrecisionAt[1], "P@1")
+	b.ReportMetric(res.PrecisionAt[10], "P@10")
+}
+
+// BenchmarkE3MeasureAblation scores the five step I ranking measures
+// against the ontology terminology.
+func BenchmarkE3MeasureAblation(b *testing.B) {
+	var best float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.E3(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		best = rows[0].PrecisionAt[50]
+	}
+	b.ReportMetric(best, "best-P@50")
+}
+
+// BenchmarkRelationExtraction evaluates the future-work relation-type
+// extractor against its synthetic gold.
+func BenchmarkRelationExtraction(b *testing.B) {
+	var f1 float64
+	for i := 0; i < b.N; i++ {
+		res, err := relext.Evaluate(relext.DefaultSynthOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		f1 = res.Overall.F1()
+	}
+	b.ReportMetric(f1, "F1")
+}

@@ -1,0 +1,126 @@
+// Command convert translates between the repository's data formats:
+//
+//	ontology: JSON (native) <-> OBO 1.2
+//	corpus:   JSON (native) <-> JSONL <-> gob (binary, pre-tokenized)
+//
+// The format of each side is inferred from the file extension:
+// .json, .obo, .jsonl, .gob.
+//
+// Usage:
+//
+//	convert -kind ontology -in mesh.json -out mesh.obo
+//	convert -kind corpus   -in corpus.json -out corpus.gob [-lang en]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"bioenrich/internal/corpus"
+	"bioenrich/internal/ontology"
+	"bioenrich/internal/textutil"
+)
+
+func main() {
+	kind := flag.String("kind", "", "ontology or corpus (required)")
+	in := flag.String("in", "", "input file (required)")
+	out := flag.String("out", "", "output file (required)")
+	lang := flag.String("lang", "en", "corpus language for formats that don't carry one (jsonl)")
+	flag.Parse()
+
+	if err := run(*kind, *in, *out, textutil.ParseLang(*lang)); err != nil {
+		fmt.Fprintln(os.Stderr, "convert:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind, in, out string, lang textutil.Lang) error {
+	if kind == "" || in == "" || out == "" {
+		return fmt.Errorf("-kind, -in and -out are required")
+	}
+	switch kind {
+	case "ontology":
+		return convertOntology(in, out)
+	case "corpus":
+		return convertCorpus(in, out, lang)
+	}
+	return fmt.Errorf("unknown kind %q (want ontology or corpus)", kind)
+}
+
+func convertOntology(in, out string) error {
+	var o *ontology.Ontology
+	var err error
+	switch filepath.Ext(in) {
+	case ".json":
+		o, err = ontology.Load(in)
+	case ".obo":
+		f, ferr := os.Open(in)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		o, err = ontology.ReadOBO(f)
+	default:
+		return fmt.Errorf("unknown ontology input format %q", filepath.Ext(in))
+	}
+	if err != nil {
+		return err
+	}
+	switch filepath.Ext(out) {
+	case ".json":
+		err = o.Save(out)
+	case ".obo":
+		f, ferr := os.Create(out)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		if err = o.WriteOBO(f); err == nil {
+			err = f.Close()
+		}
+	default:
+		return fmt.Errorf("unknown ontology output format %q", filepath.Ext(out))
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("converted %s -> %s (%d concepts, %d terms)\n",
+		in, out, o.NumConcepts(), o.NumTerms())
+	return nil
+}
+
+func convertCorpus(in, out string, lang textutil.Lang) error {
+	var c *corpus.Corpus
+	var err error
+	switch filepath.Ext(in) {
+	case ".json":
+		c, err = corpus.Load(in)
+	case ".jsonl":
+		c, err = corpus.LoadJSONL(in, lang)
+	case ".gob":
+		c, err = corpus.LoadBinary(in)
+	default:
+		return fmt.Errorf("unknown corpus input format %q", filepath.Ext(in))
+	}
+	if err != nil {
+		return err
+	}
+	switch filepath.Ext(out) {
+	case ".json":
+		err = c.Save(out)
+	case ".jsonl":
+		err = c.SaveJSONL(out)
+	case ".gob":
+		err = c.SaveBinary(out)
+	default:
+		return fmt.Errorf("unknown corpus output format %q", filepath.Ext(out))
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("converted %s -> %s (%d docs, %d tokens)\n",
+		in, out, c.NumDocs(), c.NumTokens())
+	return nil
+}

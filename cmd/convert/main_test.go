@@ -1,0 +1,88 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bioenrich/internal/corpus"
+	"bioenrich/internal/ontology"
+	"bioenrich/internal/textutil"
+)
+
+func fixtures(t *testing.T) (ontPath, corpPath, dir string) {
+	t.Helper()
+	dir = t.TempDir()
+	o := ontology.New("t")
+	if _, err := o.AddConcept("A", "alpha term"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AddConcept("B", "beta term"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SetParent("B", "A"); err != nil {
+		t.Fatal(err)
+	}
+	ontPath = filepath.Join(dir, "o.json")
+	if err := o.Save(ontPath); err != nil {
+		t.Fatal(err)
+	}
+	c := corpus.New(textutil.English)
+	c.Add(corpus.Document{ID: "1", Text: "alpha term near beta term."})
+	c.Build()
+	corpPath = filepath.Join(dir, "c.json")
+	if err := c.Save(corpPath); err != nil {
+		t.Fatal(err)
+	}
+	return ontPath, corpPath, dir
+}
+
+func TestConvertOntologyBothWays(t *testing.T) {
+	ontPath, _, dir := fixtures(t)
+	obo := filepath.Join(dir, "o.obo")
+	if err := run("ontology", ontPath, obo, textutil.English); err != nil {
+		t.Fatal(err)
+	}
+	back := filepath.Join(dir, "o2.json")
+	if err := run("ontology", obo, back, textutil.English); err != nil {
+		t.Fatal(err)
+	}
+	o2, err := ontology.Load(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2.NumConcepts() != 2 || !o2.HasTerm("beta term") {
+		t.Error("conversion lost content")
+	}
+}
+
+func TestConvertCorpusChain(t *testing.T) {
+	_, corpPath, dir := fixtures(t)
+	gob := filepath.Join(dir, "c.gob")
+	jsonl := filepath.Join(dir, "c.jsonl")
+	if err := run("corpus", corpPath, gob, textutil.English); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("corpus", gob, jsonl, textutil.English); err != nil {
+		t.Fatal(err)
+	}
+	c, err := corpus.LoadJSONL(jsonl, textutil.English)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TF("alpha term") != 1 {
+		t.Error("chain conversion lost content")
+	}
+}
+
+func TestConvertErrors(t *testing.T) {
+	ontPath, _, dir := fixtures(t)
+	if err := run("", "", "", textutil.English); err == nil {
+		t.Error("missing args accepted")
+	}
+	if err := run("bogus", ontPath, filepath.Join(dir, "x.json"), textutil.English); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := run("ontology", ontPath, filepath.Join(dir, "x.xyz"), textutil.English); err == nil {
+		t.Error("unknown extension accepted")
+	}
+}

@@ -1,0 +1,145 @@
+// Command enrich runs the paper's complete four-step workflow: extract
+// candidate terms from a corpus, detect polysemy, induce senses,
+// propose ontology positions, and (with -apply) enrich the ontology in
+// place, writing the result to -out.
+//
+// Usage:
+//
+//	enrich -corpus data/corpus.json -ontology data/ontology.json \
+//	       [-top 20] [-measure lidf-value] [-apply -out enriched.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bioenrich/internal/core"
+	"bioenrich/internal/corpus"
+	"bioenrich/internal/ontology"
+	"bioenrich/internal/termex"
+)
+
+func main() {
+	corpusPath := flag.String("corpus", "", "corpus JSON file (required)")
+	ontPath := flag.String("ontology", "", "ontology JSON file (required)")
+	measure := flag.String("measure", string(termex.LIDF), "step I ranking measure")
+	top := flag.Int("top", 20, "candidates to push through steps II-IV")
+	apply := flag.Bool("apply", false, "apply accepted proposals to the ontology")
+	relations := flag.Bool("relations", false, "also extract typed relations to the proposed anchors")
+	out := flag.String("out", "enriched.json", "output path for the enriched ontology (with -apply)")
+	reportPath := flag.String("report", "", "write a Markdown curation report to this path")
+	flag.Parse()
+
+	if err := run(*corpusPath, *ontPath, termex.Measure(*measure), *top, *apply, *relations, *out, *reportPath); err != nil {
+		fmt.Fprintln(os.Stderr, "enrich:", err)
+		os.Exit(1)
+	}
+}
+
+func run(corpusPath, ontPath string, measure termex.Measure, top int, apply, relations bool, out, reportPath string) error {
+	if corpusPath == "" || ontPath == "" {
+		return fmt.Errorf("-corpus and -ontology are required (generate with gencorpus)")
+	}
+	c, err := corpus.Load(corpusPath)
+	if err != nil {
+		return err
+	}
+	o, err := ontology.Load(ontPath)
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultConfig()
+	cfg.Measure = measure
+	cfg.TopCandidates = top
+	cfg.ExtractRelations = relations
+	enricher := core.NewEnricher(c, o, cfg)
+
+	// Train step II from the ontology's own polysemy ground truth when
+	// it has enough labelled terms of both classes.
+	poly, mono := o.PolysemicTerms(), o.MonosemicTerms()
+	poly, mono = inCorpus(c, poly, 40), inCorpus(c, mono, 40)
+	if len(poly) >= 5 && len(mono) >= 5 {
+		if err := enricher.TrainPolysemy(poly, mono); err != nil {
+			return err
+		}
+		fmt.Printf("step II: trained on %d polysemic + %d monosemic ontology terms\n",
+			len(poly), len(mono))
+	} else {
+		fmt.Println("step II: too few labelled terms; candidates treated as monosemic")
+	}
+
+	report, err := enricher.Run()
+	if err != nil {
+		return err
+	}
+	for _, cand := range report.Candidates {
+		if cand.Known {
+			fmt.Printf("%-40s known term, skipped\n", cand.Term)
+			continue
+		}
+		k := 0
+		if cand.Senses != nil {
+			k = cand.Senses.K
+		}
+		fmt.Printf("%-40s score=%.3f polysemic=%-5v senses=%d proposals=%d\n",
+			cand.Term, cand.Score, cand.Polysemic, k, len(cand.Positions))
+		for i, p := range cand.Positions {
+			if i >= 3 {
+				break
+			}
+			fmt.Printf("    %d. %-36s cosine=%.4f (%s)\n", i+1, p.Where, p.Cosine, p.Relation)
+		}
+		for _, rel := range cand.Relations {
+			fmt.Printf("    relation: %s\n", rel)
+		}
+	}
+	if reportPath != "" {
+		f, err := os.Create(reportPath)
+		if err != nil {
+			return err
+		}
+		if err := report.WriteMarkdown(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote curation report to %s\n", reportPath)
+	}
+	if !apply {
+		return nil
+	}
+	applied, err := enricher.Apply(report, core.DefaultPolicy())
+	if err != nil {
+		return err
+	}
+	for _, a := range applied {
+		how := "new concept " + string(a.NewID) + " under"
+		if a.AsSynonym {
+			how = "synonym of"
+		}
+		fmt.Printf("applied: %q as %s %s\n", a.Term, how, a.Anchor)
+	}
+	if err := o.Save(out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote enriched ontology to %s (%d concepts, %d terms)\n",
+		out, o.NumConcepts(), o.NumTerms())
+	return nil
+}
+
+// inCorpus filters terms that actually occur in the corpus, capped.
+func inCorpus(c *corpus.Corpus, terms []string, max int) []string {
+	var out []string
+	for _, t := range terms {
+		if c.TF(t) > 0 {
+			out = append(out, t)
+			if len(out) == max {
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bioenrich/internal/corpus"
+	"bioenrich/internal/ontology"
+	"bioenrich/internal/termex"
+	"bioenrich/internal/textutil"
+)
+
+func writeFixtures(t *testing.T) (corpPath, ontPath, dir string) {
+	t.Helper()
+	dir = t.TempDir()
+	o := ontology.New("t")
+	add := func(id ontology.ConceptID, pref string, syns ...string) {
+		if _, err := o.AddConcept(id, pref); err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range syns {
+			if err := o.AddSynonym(id, s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	add("D1", "corneal diseases")
+	add("D2", "corneal injury", "corneal damage")
+	if err := o.SetParent("D2", "D1"); err != nil {
+		t.Fatal(err)
+	}
+	ontPath = filepath.Join(dir, "o.json")
+	if err := o.Save(ontPath); err != nil {
+		t.Fatal(err)
+	}
+
+	c := corpus.New(textutil.English)
+	c.AddAll([]corpus.Document{
+		{ID: "1", Text: "The corneal abrasion showed epithelium scarring near corneal injury tissue."},
+		{ID: "2", Text: "Severe corneal abrasion with epithelium scarring followed corneal injury."},
+		{ID: "3", Text: "Corneal diseases include epithelium scarring of the surface."},
+	})
+	c.Build()
+	corpPath = filepath.Join(dir, "c.json")
+	if err := c.Save(corpPath); err != nil {
+		t.Fatal(err)
+	}
+	return corpPath, ontPath, dir
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	corpPath, ontPath, dir := writeFixtures(t)
+	out := filepath.Join(dir, "enriched.json")
+	report := filepath.Join(dir, "report.md")
+	if err := run(corpPath, ontPath, termex.LIDF, 10, true, true, out, report); err != nil {
+		t.Fatal(err)
+	}
+	enriched, err := ontology.Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enriched.NumTerms() <= 4 {
+		t.Errorf("enriched ontology has %d terms", enriched.NumTerms())
+	}
+	md, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(md), "# Ontology enrichment report") {
+		t.Error("report malformed")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", termex.LIDF, 5, false, false, "", ""); err == nil {
+		t.Error("missing args accepted")
+	}
+	corpPath, ontPath, _ := writeFixtures(t)
+	if err := run(corpPath, ontPath, "bogus", 5, false, false, "", ""); err == nil {
+		t.Error("bad measure accepted")
+	}
+}

@@ -1,0 +1,62 @@
+// Command gencorpus generates the synthetic substitute data set: a
+// MeSH-like ontology and a PubMed-like corpus whose abstracts mention
+// each concept's terms in topical contexts. Both are written as JSON
+// files consumable by the other commands.
+//
+// Usage:
+//
+//	gencorpus -out data/ [-seed 1] [-branches 4] [-depth 3] [-docs 6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"bioenrich/internal/synth"
+)
+
+func main() {
+	out := flag.String("out", ".", "output directory")
+	seed := flag.Int64("seed", 1, "random seed")
+	branches := flag.Int("branches", 4, "top-level ontology categories")
+	depth := flag.Int("depth", 3, "hierarchy depth")
+	docs := flag.Int("docs", 6, "documents per concept")
+	flag.Parse()
+
+	if err := run(*out, *seed, *branches, *depth, *docs); err != nil {
+		fmt.Fprintln(os.Stderr, "gencorpus:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, seed int64, branches, depth, docs int) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	mopts := synth.DefaultMeshOptions()
+	mopts.Seed = seed
+	mopts.Branches = branches
+	mopts.Depth = depth
+	mesh := synth.GenerateMesh(mopts)
+
+	copts := synth.DefaultCorpusOptions()
+	copts.Seed = seed + 1
+	copts.DocsPerConcept = docs
+	corp := synth.GenerateMeshCorpus(mesh, copts)
+
+	ontPath := filepath.Join(out, "ontology.json")
+	if err := mesh.Ontology.Save(ontPath); err != nil {
+		return err
+	}
+	corpPath := filepath.Join(out, "corpus.json")
+	if err := corp.Save(corpPath); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d concepts, %d terms)\n", ontPath,
+		mesh.Ontology.NumConcepts(), mesh.Ontology.NumTerms())
+	fmt.Printf("wrote %s (%d docs, %d tokens)\n", corpPath,
+		corp.NumDocs(), corp.NumTokens())
+	return nil
+}

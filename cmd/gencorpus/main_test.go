@@ -1,0 +1,29 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunGeneratesFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 1, 2, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"ontology.json", "corpus.json"} {
+		info, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+}
+
+func TestRunBadDir(t *testing.T) {
+	if err := run("/proc/definitely/not/writable", 1, 2, 2, 2); err == nil {
+		t.Error("unwritable directory accepted")
+	}
+}

@@ -1,0 +1,61 @@
+// Command linkage is the step IV tool: given a corpus, an ontology and
+// a candidate term, it prints the top-N positions where the term could
+// be added (the paper's Table 3 for an arbitrary term).
+//
+// Usage:
+//
+//	linkage -corpus data/corpus.json -ontology data/ontology.json \
+//	        -term "corneal injuries" [-top 10] [-no-fathers] [-no-sons]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bioenrich/internal/corpus"
+	"bioenrich/internal/linkage"
+	"bioenrich/internal/ontology"
+)
+
+func main() {
+	corpusPath := flag.String("corpus", "", "corpus JSON file (required)")
+	ontPath := flag.String("ontology", "", "ontology JSON file (required)")
+	term := flag.String("term", "", "candidate term (required)")
+	top := flag.Int("top", 10, "proposals to print")
+	noFathers := flag.Bool("no-fathers", false, "do not expand neighbors' parents")
+	noSons := flag.Bool("no-sons", false, "do not expand neighbors' children")
+	flag.Parse()
+
+	if err := run(*corpusPath, *ontPath, *term, *top, *noFathers, *noSons); err != nil {
+		fmt.Fprintln(os.Stderr, "linkage:", err)
+		os.Exit(1)
+	}
+}
+
+func run(corpusPath, ontPath, term string, top int, noFathers, noSons bool) error {
+	if corpusPath == "" || ontPath == "" || term == "" {
+		return fmt.Errorf("-corpus, -ontology and -term are required")
+	}
+	c, err := corpus.Load(corpusPath)
+	if err != nil {
+		return err
+	}
+	o, err := ontology.Load(ontPath)
+	if err != nil {
+		return err
+	}
+	opts := linkage.DefaultOptions()
+	opts.ExpandFathers = !noFathers
+	opts.ExpandSons = !noSons
+	props, err := linkage.New(c, o, opts).Propose(term, top)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("propositions about where to add the term %q:\n", term)
+	fmt.Printf("%-4s %-40s %-8s %-9s %s\n", "no", "where", "cosine", "relation", "concept")
+	for i, p := range props {
+		fmt.Printf("%-4d %-40s %.4f  %-9s %s\n", i+1, p.Where, p.Cosine, p.Relation, p.Concept)
+	}
+	return nil
+}

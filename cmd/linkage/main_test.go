@@ -1,0 +1,60 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bioenrich/internal/corpus"
+	"bioenrich/internal/ontology"
+	"bioenrich/internal/textutil"
+)
+
+func writeFixtures(t *testing.T) (corpPath, ontPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	o := ontology.New("t")
+	if _, err := o.AddConcept("D1", "corneal injury"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AddConcept("D2", "corneal diseases"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SetParent("D1", "D2"); err != nil {
+		t.Fatal(err)
+	}
+	ontPath = filepath.Join(dir, "o.json")
+	if err := o.Save(ontPath); err != nil {
+		t.Fatal(err)
+	}
+	c := corpus.New(textutil.English)
+	c.AddAll([]corpus.Document{
+		{ID: "1", Text: "The corneal abrasion near corneal injury showed scarring tissue."},
+		{ID: "2", Text: "Corneal abrasion with scarring followed corneal injury onset."},
+	})
+	c.Build()
+	corpPath = filepath.Join(dir, "c.json")
+	if err := c.Save(corpPath); err != nil {
+		t.Fatal(err)
+	}
+	return corpPath, ontPath
+}
+
+func TestRunLinkage(t *testing.T) {
+	corpPath, ontPath := writeFixtures(t)
+	if err := run(corpPath, ontPath, "corneal abrasion", 5, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(corpPath, ontPath, "corneal abrasion", 5, true, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLinkageErrors(t *testing.T) {
+	if err := run("", "", "", 5, false, false); err == nil {
+		t.Error("missing args accepted")
+	}
+	corpPath, ontPath := writeFixtures(t)
+	if err := run(corpPath, ontPath, "unseen term", 5, false, false); err == nil {
+		t.Error("unknown term accepted")
+	}
+}

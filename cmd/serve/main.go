@@ -1,0 +1,46 @@
+// Command serve runs the enrichment workflow as an HTTP service (the
+// role the BIOTEX web application plays for the paper's step I,
+// extended to all four steps).
+//
+// Usage:
+//
+//	serve -corpus data/corpus.json -ontology data/ontology.json [-addr :8080]
+//
+// See internal/server for the endpoint list.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"bioenrich/internal/corpus"
+	"bioenrich/internal/ontology"
+	"bioenrich/internal/server"
+)
+
+func main() {
+	corpusPath := flag.String("corpus", "", "corpus JSON file (required)")
+	ontPath := flag.String("ontology", "", "ontology JSON file (required)")
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	if *corpusPath == "" || *ontPath == "" {
+		fmt.Fprintln(os.Stderr, "serve: -corpus and -ontology are required")
+		os.Exit(1)
+	}
+	c, err := corpus.Load(*corpusPath)
+	if err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+	o, err := ontology.Load(*ontPath)
+	if err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+	log.Printf("serving %d docs / %d concepts on %s", c.NumDocs(), o.NumConcepts(), *addr)
+	if err := http.ListenAndServe(*addr, server.New(c, o).Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

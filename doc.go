@@ -1,0 +1,17 @@
+// Package bioenrich is a from-scratch Go reproduction of
+// "A Way to Automatically Enrich Biomedical Ontologies"
+// (Lossio-Ventura, Jonquet, Roche, Teisseire — EDBT 2016).
+//
+// The implementation lives under internal/ (see DESIGN.md for the full
+// inventory); the runnable entry points are:
+//
+//   - cmd/enrich     — the complete four-step enrichment workflow
+//   - cmd/gencorpus  — generate the synthetic MeSH/PubMed substitutes
+//   - cmd/termex     — step I: BIOTEX-style term extraction
+//   - cmd/senses     — step III: sense-number prediction + induction
+//   - cmd/linkage    — step IV: ontology position proposals
+//   - cmd/tables     — regenerate every table of the paper's evaluation
+//
+// The benchmarks in bench_test.go regenerate each paper table under
+// `go test -bench`; EXPERIMENTS.md records paper-vs-measured values.
+package bioenrich

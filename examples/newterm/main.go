@@ -1,0 +1,106 @@
+// Newterm reproduces the paper's showcase scenario (§3, Table 3): the
+// term "corneal injuries" was added to MeSH between 2009 and 2015;
+// given only its corpus contexts, the linker should rediscover where
+// it belongs — near its synonyms ("corneal injury", "corneal damage")
+// and its fathers ("corneal diseases", "eye injuries").
+//
+//	go run ./examples/newterm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bioenrich/internal/corpus"
+	"bioenrich/internal/linkage"
+	"bioenrich/internal/ontology"
+	"bioenrich/internal/textutil"
+)
+
+func main() {
+	o := buildEyeOntology()
+	c := buildEyeCorpus()
+
+	candidate := "corneal injuries"
+	gold := o.RelatedTerms(candidate)
+
+	// Hold the candidate out: the 2009 MeSH did not contain it.
+	reduced := o.Clone()
+	reduced.RemoveTerm(candidate)
+
+	linker := linkage.New(c, reduced, linkage.DefaultOptions())
+	proposals, err := linker.Propose(candidate, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("propositions about where to add the term %q:\n\n", candidate)
+	fmt.Printf("%-3s %-22s %-8s %-9s %s\n", "no", "where", "cosine", "relation", "correct")
+	correct := 0
+	for i, p := range proposals {
+		mark := ""
+		if gold[p.Where] {
+			mark = "  *"
+			correct++
+		}
+		fmt.Printf("%-3d %-22s %.4f  %-9s%s\n", i+1, p.Where, p.Cosine, p.Relation, mark)
+	}
+	fmt.Printf("\n%d of %d propositions are gold synonyms/fathers/sons\n", correct, len(proposals))
+	fmt.Println("(the paper reports 5 of 10 for this term on real PubMed/MeSH)")
+}
+
+// buildEyeOntology recreates the MeSH fragment around corneal injuries.
+func buildEyeOntology() *ontology.Ontology {
+	o := ontology.New("mesh-2015-fragment")
+	add := func(id ontology.ConceptID, pref string, syns ...string) {
+		if _, err := o.AddConcept(id, pref); err != nil {
+			log.Fatal(err)
+		}
+		for _, s := range syns {
+			if err := o.AddSynonym(id, s); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	add("D005128", "eye diseases")
+	add("D003316", "corneal diseases")
+	add("D005131", "eye injuries")
+	add("D065306", "corneal injuries", "corneal injury", "corneal damage", "corneal trauma")
+	add("D003320", "corneal ulcer")
+	add("D000568", "amniotic membrane")
+	add("D014947", "wound")
+	add("D002057", "chemical burns")
+	for _, link := range [][2]ontology.ConceptID{
+		{"D003316", "D005128"}, {"D005131", "D005128"},
+		{"D065306", "D003316"}, {"D065306", "D005131"},
+		{"D003320", "D003316"}, {"D002057", "D005131"},
+	} {
+		if err := o.SetParent(link[0], link[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return o
+}
+
+// buildEyeCorpus writes PubMed-like abstracts mentioning the candidate
+// and its neighborhood in shared topical contexts.
+func buildEyeCorpus() *corpus.Corpus {
+	c := corpus.New(textutil.English)
+	abstracts := []string{
+		"Corneal injuries after chemical burns were treated with amniotic membrane transplantation; re-epithelialization followed within weeks.",
+		"The corneal injury healed by re-epithelialization; amniotic membrane grafting accelerated epithelial recovery after the burn.",
+		"Severe corneal damage from alkali exposure required amniotic membrane patching, and re-epithelialization was complete by day ten.",
+		"Eye injuries including corneal injuries often show delayed re-epithelialization and benefit from early amniotic membrane therapy.",
+		"Corneal diseases such as corneal ulcer impair vision; re-epithelialization markers guide therapy after epithelial wound closure.",
+		"Corneal trauma models demonstrate that amniotic membrane promotes re-epithelialization of the wounded epithelium.",
+		"A chemical burns registry reported corneal injuries in half of ocular trauma cases; amniotic membrane was the commonest graft.",
+		"The corneal ulcer responded to antibiotics; persistent epithelial defects required amniotic membrane transplantation.",
+		"Wound healing of the cornea depends on re-epithelialization; corneal injury severity predicts epithelial recovery time.",
+		"Eye injuries from industrial accidents included corneal damage and chemical burns to the epithelium.",
+	}
+	for i, text := range abstracts {
+		c.Add(corpus.Document{ID: fmt.Sprintf("pm%02d", i+1), Text: text})
+	}
+	c.Build()
+	return c
+}

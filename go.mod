@@ -1,0 +1,3 @@
+module bioenrich
+
+go 1.22

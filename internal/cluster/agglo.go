@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"math"
+
+	"bioenrich/internal/sparse"
+)
+
+// agglomerative merges singleton clusters greedily until k remain,
+// choosing at each step the merge that maximizes the resulting I2
+// criterion (equivalently, the merge with the largest
+// ‖D_a + D_b‖ − ‖D_a‖ − ‖D_b‖, i.e. the least criterion loss). This is
+// CLUTO's agglo with the i2 criterion function.
+//
+// A pairwise dot-product matrix is maintained incrementally
+// (dot(a∪b, x) = dot(a,x) + dot(b,x)), so each merge costs O(n) and
+// the whole run O(n²·(n−k)) scalar work instead of repeated sparse
+// dot products.
+func agglomerative(unit []sparse.Vector, k int) *Clustering {
+	n := len(unit)
+	// dots[i][j] = D_i · D_j for live clusters; norms2[i] = D_i · D_i.
+	dots := make([][]float64, n)
+	for i := range dots {
+		dots[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		dots[i][i] = unit[i].Dot(unit[i])
+		for j := i + 1; j < n; j++ {
+			d := unit[i].Dot(unit[j])
+			dots[i][j], dots[j][i] = d, d
+		}
+	}
+	members := make([][]int, n)
+	alive := make([]bool, n)
+	norms := make([]float64, n)
+	for i := range unit {
+		members[i] = []int{i}
+		alive[i] = true
+		norms[i] = math.Sqrt(dots[i][i])
+	}
+	remaining := n
+	for remaining > k {
+		bestA, bestB := -1, -1
+		bestDelta := math.Inf(-1)
+		for a := 0; a < n; a++ {
+			if !alive[a] {
+				continue
+			}
+			for b := a + 1; b < n; b++ {
+				if !alive[b] {
+					continue
+				}
+				merged := math.Sqrt(dots[a][a] + dots[b][b] + 2*dots[a][b])
+				delta := merged - norms[a] - norms[b]
+				if delta > bestDelta {
+					bestDelta, bestA, bestB = delta, a, b
+				}
+			}
+		}
+		// Merge B into A: update row/column A, kill B.
+		for x := 0; x < n; x++ {
+			if !alive[x] || x == bestA || x == bestB {
+				continue
+			}
+			d := dots[bestA][x] + dots[bestB][x]
+			dots[bestA][x], dots[x][bestA] = d, d
+		}
+		dots[bestA][bestA] += dots[bestB][bestB] + 2*dots[bestA][bestB]
+		norms[bestA] = math.Sqrt(dots[bestA][bestA])
+		members[bestA] = append(members[bestA], members[bestB]...)
+		alive[bestB] = false
+		remaining--
+	}
+	assign := make([]int, n)
+	cid := 0
+	for i := 0; i < n; i++ {
+		if !alive[i] {
+			continue
+		}
+		for _, m := range members[i] {
+			assign[m] = cid
+		}
+		cid++
+	}
+	return newClustering(unit, assign, cid)
+}

@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"bioenrich/internal/graph"
+	"bioenrich/internal/sparse"
+)
+
+// graphNeighbors is the sparsification degree of the similarity graph:
+// each object keeps edges to its graphNeighbors most similar peers
+// (CLUTO's graph method similarly clusters a nearest-neighbor graph).
+const graphNeighbors = 10
+
+// graphCluster builds the cosine nearest-neighbor graph over the
+// objects and partitions it into k parts with recursive min-cut
+// bisection; parts map back to clusters. Objects that end up in excess
+// parts (the partitioner may produce fewer) are merged into the most
+// similar cluster.
+func graphCluster(unit []sparse.Vector, k int, seed int64) *Clustering {
+	n := len(unit)
+	g := graph.New()
+	ids := make([]string, n)
+	for i := range unit {
+		ids[i] = fmt.Sprintf("o%06d", i)
+		g.AddNode(ids[i])
+	}
+	type simPair struct {
+		j   int
+		sim float64
+	}
+	for i := 0; i < n; i++ {
+		pairs := make([]simPair, 0, n-1)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if s := unit[i].Cosine(unit[j]); s > 0 {
+				pairs = append(pairs, simPair{j: j, sim: s})
+			}
+		}
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a].sim > pairs[b].sim })
+		limit := graphNeighbors
+		if limit > len(pairs) {
+			limit = len(pairs)
+		}
+		for _, p := range pairs[:limit] {
+			// SetEdge (not Add) so mutual neighbors don't double the weight.
+			g.SetEdge(ids[i], ids[p.j], p.sim)
+		}
+	}
+	parts := g.PartitionK(k)
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	for c, part := range parts {
+		for _, id := range part {
+			var idx int
+			fmt.Sscanf(id, "o%06d", &idx)
+			assign[idx] = c
+		}
+	}
+	// Safety: any unassigned object (isolated node edge cases) joins
+	// cluster 0.
+	for i, a := range assign {
+		if a < 0 {
+			assign[i] = 0
+		}
+	}
+	got := len(parts)
+	if got == 0 {
+		got = 1
+	}
+	c := newClustering(unit, assign, got)
+	// The partitioner can return fewer parts than requested on tiny
+	// graphs; callers treat c.K as authoritative.
+	return c
+}

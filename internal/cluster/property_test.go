@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bioenrich/internal/sparse"
+)
+
+// randVecs builds n random sparse non-negative vectors.
+func randVecs(r *rand.Rand, n int) []sparse.Vector {
+	out := make([]sparse.Vector, n)
+	for i := range out {
+		v := sparse.New(6)
+		for f := 0; f < 2+r.Intn(6); f++ {
+			v[string(rune('a'+r.Intn(10)))] = r.Float64()*2 + 0.01
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// TestIndexValuesFiniteProperty: on arbitrary data, no index produces
+// NaN; only ek/fk may legitimately reach +Inf (zero ESIM / k=1).
+func TestIndexValuesFiniteProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	indexes := append(append([]Index{}, Indexes...), Silhouette)
+	for trial := 0; trial < 25; trial++ {
+		vecs := randVecs(r, 6+r.Intn(20))
+		k := 2 + r.Intn(3)
+		for _, alg := range Algorithms {
+			c, err := Run(alg, vecs, k, int64(trial))
+			if err != nil {
+				t.Fatalf("%s: %v", alg, err)
+			}
+			for _, ix := range indexes {
+				v := ix.Value(c)
+				if math.IsNaN(v) {
+					t.Fatalf("trial %d %s/%s: NaN", trial, alg, ix)
+				}
+			}
+		}
+	}
+}
+
+// TestISIMESIMBoundsProperty: both statistics stay within [0, 1+ε] for
+// non-negative unit vectors on random clusterings.
+func TestISIMESIMBoundsProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 25; trial++ {
+		vecs := randVecs(r, 5+r.Intn(15))
+		c, err := Run(Direct, vecs, 2+r.Intn(2), int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < c.K; i++ {
+			if isim := c.ISIM(i); isim < -1e-9 || isim > 1+1e-9 {
+				t.Fatalf("trial %d: ISIM %v", trial, isim)
+			}
+			if esim := c.ESIM(i); esim < -1e-9 || esim > 1+1e-9 {
+				t.Fatalf("trial %d: ESIM %v", trial, esim)
+			}
+		}
+	}
+}
+
+// TestPredictKStaysInRangeProperty: whatever the data, the predicted k
+// lies in [KMin, KMax].
+func TestPredictKStaysInRangeProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	indexes := append(append([]Index{}, Indexes...), Silhouette)
+	for trial := 0; trial < 15; trial++ {
+		vecs := randVecs(r, KMax+1+r.Intn(20))
+		for _, ix := range indexes {
+			k, _, err := PredictK(Direct, ix, vecs, KMin, KMax, int64(trial))
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, ix, err)
+			}
+			if k < KMin || k > KMax {
+				t.Fatalf("trial %d %s: k=%d", trial, ix, k)
+			}
+		}
+	}
+}
+
+// TestExternalIndexAgreementProperty: when the clustering IS the gold
+// partition, all three external indexes hit their maxima.
+func TestExternalIndexAgreementProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 10; trial++ {
+		vecs := randVecs(r, 10+r.Intn(10))
+		k := 2 + r.Intn(3)
+		c, err := Run(Direct, vecs, k, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		labels := append([]int(nil), c.Assign...)
+		if p := Purity(c, labels); math.Abs(p-1) > 1e-9 {
+			t.Fatalf("purity vs own assignment = %v", p)
+		}
+		if a := ARI(c, labels); math.Abs(a-1) > 1e-9 {
+			t.Fatalf("ARI vs own assignment = %v", a)
+		}
+		// NMI is 1 unless a partition is trivial (single non-empty
+		// cluster), where it is defined as 0.
+		nonEmpty := 0
+		for i := 0; i < c.K; i++ {
+			if c.Size(i) > 0 {
+				nonEmpty++
+			}
+		}
+		if nonEmpty > 1 {
+			if m := NMI(c, labels); math.Abs(m-1) > 1e-9 {
+				t.Fatalf("NMI vs own assignment = %v", m)
+			}
+		}
+	}
+}

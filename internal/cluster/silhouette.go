@@ -1,0 +1,53 @@
+package cluster
+
+import "math"
+
+// Silhouette is the classic internal index (Rousseeuw 1987) included
+// as the baseline the paper's five new indexes are compared against:
+// for each object, s = (b − a) / max(a, b) where a is the mean
+// distance to its own cluster and b the mean distance to the nearest
+// other cluster; the index is the mean s over all objects. Distances
+// are cosine distances (1 − cosine). Maximized over k.
+const Silhouette Index = "sil"
+
+// silhouetteValue computes the mean silhouette width of a clustering.
+// Objects in singleton clusters contribute 0 (the standard convention).
+func silhouetteValue(c *Clustering) float64 {
+	n := len(c.vecs)
+	if n == 0 || c.K < 2 {
+		return 0
+	}
+	// Mean distance from every object to every cluster, via composite
+	// vectors: mean cosine from v to cluster j is v·D_j / n_j for unit
+	// vectors (excluding v itself for its own cluster).
+	var total float64
+	for i, v := range c.vecs {
+		own := c.Assign[i]
+		nOwn := float64(c.sizes[own])
+		var a float64
+		if nOwn > 1 {
+			meanSimOwn := (v.Dot(c.comp[own]) - v.Dot(v)) / (nOwn - 1)
+			a = 1 - meanSimOwn
+		} else {
+			continue // singleton: s = 0 contribution
+		}
+		b := math.Inf(1)
+		for j := 0; j < c.K; j++ {
+			if j == own || c.sizes[j] == 0 {
+				continue
+			}
+			meanSim := v.Dot(c.comp[j]) / float64(c.sizes[j])
+			if d := 1 - meanSim; d < b {
+				b = d
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+		}
+	}
+	return total / float64(n)
+}

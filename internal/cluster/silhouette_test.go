@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"bioenrich/internal/sparse"
+)
+
+func TestSilhouetteBounds(t *testing.T) {
+	vecs, _ := blobs(3, 10, 31)
+	c, err := Run(Direct, vecs, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Silhouette.Value(c)
+	if s < -1 || s > 1 {
+		t.Errorf("silhouette = %v out of [-1,1]", s)
+	}
+	// Well-separated blobs: strongly positive.
+	if s < 0.5 {
+		t.Errorf("silhouette = %v on separable blobs", s)
+	}
+	if !Silhouette.Maximize() {
+		t.Error("silhouette must be maximized")
+	}
+}
+
+func TestSilhouettePeaksAtTrueK(t *testing.T) {
+	for trueK := 2; trueK <= 4; trueK++ {
+		vecs, _ := blobs(trueK, 12, int64(trueK)*17)
+		k, _, err := PredictK(Direct, Silhouette, vecs, KMin, KMax, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k != trueK {
+			t.Errorf("silhouette selected %d, want %d", k, trueK)
+		}
+	}
+}
+
+func TestSilhouetteDegenerate(t *testing.T) {
+	// All singletons: every contribution is 0.
+	vecs := []sparse.Vector{{"a": 1}, {"b": 1}}
+	c, err := Run(Direct, vecs, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := Silhouette.Value(c); s != 0 {
+		t.Errorf("singleton silhouette = %v", s)
+	}
+	// k=1: defined as 0.
+	one, err := Run(Direct, vecs, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := Silhouette.Value(one); s != 0 {
+		t.Errorf("k=1 silhouette = %v", s)
+	}
+}
+
+func TestSilhouetteMatchesBruteForce(t *testing.T) {
+	vecs, _ := blobs(2, 6, 77)
+	c, err := Run(Direct, vecs, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute-force silhouette.
+	n := len(c.vecs)
+	var total float64
+	for i := 0; i < n; i++ {
+		own := c.Assign[i]
+		var aSum, aCnt float64
+		bByCluster := map[int][2]float64{}
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			d := 1 - c.vecs[i].Cosine(c.vecs[j])
+			if c.Assign[j] == own {
+				aSum += d
+				aCnt++
+			} else {
+				e := bByCluster[c.Assign[j]]
+				bByCluster[c.Assign[j]] = [2]float64{e[0] + d, e[1] + 1}
+			}
+		}
+		if aCnt == 0 || len(bByCluster) == 0 {
+			continue
+		}
+		a := aSum / aCnt
+		b := math.Inf(1)
+		for _, e := range bByCluster {
+			if m := e[0] / e[1]; m < b {
+				b = m
+			}
+		}
+		if den := math.Max(a, b); den > 0 {
+			total += (b - a) / den
+		}
+	}
+	brute := total / float64(n)
+	if got := Silhouette.Value(c); math.Abs(got-brute) > 1e-9 {
+		t.Errorf("silhouette = %v, brute force = %v", got, brute)
+	}
+}

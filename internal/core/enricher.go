@@ -1,0 +1,275 @@
+// Package core assembles the paper's four-step workflow into one
+// pipeline — the library's primary entry point. Given a text corpus
+// and an existing biomedical ontology, the Enricher
+//
+//	I.   extracts ranked candidate terms (package termex),
+//	II.  predicts which candidates are polysemic (package polysemy),
+//	III. induces each candidate's sense(s) (package senseind),
+//	IV.  proposes where each candidate belongs in the ontology
+//	     (package linkage),
+//
+// and can finally apply accepted proposals, mutating the ontology.
+package core
+
+import (
+	"fmt"
+	"log/slog"
+
+	"bioenrich/internal/cluster"
+	"bioenrich/internal/corpus"
+	"bioenrich/internal/linkage"
+	"bioenrich/internal/ml"
+	"bioenrich/internal/ontology"
+	"bioenrich/internal/polysemy"
+	"bioenrich/internal/relext"
+	"bioenrich/internal/senseind"
+	"bioenrich/internal/termex"
+)
+
+// Config selects the strategy of every step.
+type Config struct {
+	// Step I
+	Measure       termex.Measure // ranking measure (default LIDF)
+	TopCandidates int            // candidates carried into steps II–IV
+
+	// Step II
+	Classifier func() ml.Classifier // polysemy classifier factory
+	Features   polysemy.FeatureSet  // feature ablation switch
+
+	// Step III
+	Algorithm      cluster.Algorithm
+	Index          cluster.Index
+	Representation senseind.Representation
+
+	// Step IV
+	Link         linkage.Options
+	TopPositions int
+
+	Seed int64
+
+	// ExtractRelations enables the future-work extension: after step
+	// IV proposes positions, typed relations between the candidate and
+	// its proposed anchors are read from the corpus.
+	ExtractRelations bool
+
+	// Log, when non-nil, receives structured progress events from Run,
+	// TrainPolysemy and RunRounds.
+	Log *slog.Logger
+}
+
+// DefaultConfig mirrors the paper's best-performing choices: LIDF-value
+// ranking, random forest over all 23 features, direct clustering with
+// the f_k index on bag-of-words, cosine linkage with father/son
+// expansion, 10 position proposals.
+func DefaultConfig() Config {
+	return Config{
+		Measure:        termex.LIDF,
+		TopCandidates:  20,
+		Classifier:     func() ml.Classifier { return ml.NewRandomForest() },
+		Features:       polysemy.AllFeatures,
+		Algorithm:      cluster.Direct,
+		Index:          cluster.FK,
+		Representation: senseind.BagOfWords,
+		Link:           linkage.DefaultOptions(),
+		TopPositions:   10,
+		Seed:           1,
+	}
+}
+
+// Candidate is the full per-term outcome of the pipeline.
+type Candidate struct {
+	Term      string
+	Score     float64 // step I ranking score
+	Known     bool    // already present in the ontology (skipped downstream)
+	Polysemic bool
+	Senses    *senseind.Result   // nil for known terms
+	Positions []linkage.Proposal // nil when linkage found no anchor
+	// Relations holds typed relations between this candidate and its
+	// proposed anchors (only with Config.ExtractRelations).
+	Relations []relext.Relation
+}
+
+// Report is the outcome of one enrichment run.
+type Report struct {
+	Measure    termex.Measure
+	Candidates []Candidate
+}
+
+// Enricher runs the workflow against one corpus and ontology.
+type Enricher struct {
+	cfg      Config
+	c        *corpus.Corpus
+	o        *ontology.Ontology
+	detector *polysemy.Detector
+}
+
+// NewEnricher builds an enricher. The ontology is not copied; Apply
+// mutates it.
+func NewEnricher(c *corpus.Corpus, o *ontology.Ontology, cfg Config) *Enricher {
+	if cfg.Classifier == nil {
+		cfg = DefaultConfig()
+	}
+	return &Enricher{cfg: cfg, c: c, o: o}
+}
+
+// Ontology returns the enricher's (live) ontology.
+func (e *Enricher) Ontology() *ontology.Ontology { return e.o }
+
+// TrainPolysemy fits step II's classifier on terms with known status.
+// Callers usually label terms via the metathesaurus: terms with ≥ 2
+// concepts are polysemic. Without training, every candidate is treated
+// as monosemic (k = 1).
+func (e *Enricher) TrainPolysemy(polysemic, monosemic []string) error {
+	det, err := polysemy.Train(e.c, polysemic, monosemic, e.cfg.Classifier, e.cfg.Features)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	e.detector = det
+	return nil
+}
+
+// IsPolysemic probes the trained step II detector for one term against
+// a corpus. False when no detector has been trained.
+func (e *Enricher) IsPolysemic(c *corpus.Corpus, term string) bool {
+	return e.detector != nil && e.detector.IsPolysemic(c, term)
+}
+
+// Run executes steps I–IV and returns the report. The ontology is not
+// modified; call Apply with accepted candidates to enrich it.
+func (e *Enricher) Run() (*Report, error) {
+	ext := termex.NewExtractor(e.c)
+	ext.LearnPatterns(e.o.Terms()) // LIDF pattern model from the ontology
+	ranked, err := ext.Rank(e.cfg.Measure, 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: step I: %w", err)
+	}
+	if e.cfg.Log != nil {
+		e.cfg.Log.Info("step I complete",
+			"measure", string(e.cfg.Measure),
+			"candidates", ext.NumCandidates(),
+			"kept", e.cfg.TopCandidates)
+	}
+	report := &Report{Measure: e.cfg.Measure}
+	kept := 0
+	for _, st := range ranked {
+		if kept >= e.cfg.TopCandidates {
+			break
+		}
+		cand := Candidate{Term: st.Term, Score: st.Score}
+		if e.o.HasTerm(st.Term) {
+			cand.Known = true
+			report.Candidates = append(report.Candidates, cand)
+			continue
+		}
+		kept++
+
+		// Step II: polysemy prediction.
+		if e.detector != nil {
+			cand.Polysemic = e.detector.IsPolysemic(e.c, st.Term)
+		}
+
+		// Step III: sense induction (k = 1 for monosemic candidates).
+		inducer := &senseind.Inducer{
+			Algorithm:      e.cfg.Algorithm,
+			Index:          e.cfg.Index,
+			Representation: e.cfg.Representation,
+			Window:         senseind.DefaultWindow,
+			Seed:           e.cfg.Seed,
+		}
+		senses, err := inducer.Induce(e.c, st.Term, cand.Polysemic)
+		if err == nil {
+			cand.Senses = senses
+		}
+
+		// Step IV: position proposals.
+		linker := linkage.New(e.c, e.o, e.cfg.Link)
+		if props, err := linker.Propose(st.Term, e.cfg.TopPositions); err == nil {
+			cand.Positions = props
+		}
+
+		// Future-work extension: typed relations between the candidate
+		// and its proposed anchors.
+		if e.cfg.ExtractRelations && len(cand.Positions) > 0 {
+			vocab := []string{cand.Term}
+			for _, p := range cand.Positions {
+				vocab = append(vocab, p.Where)
+			}
+			for _, rel := range relext.NewExtractor(vocab, e.c.Lang()).Extract(e.c) {
+				if rel.A == cand.Term || rel.B == cand.Term {
+					cand.Relations = append(cand.Relations, rel)
+				}
+			}
+		}
+		report.Candidates = append(report.Candidates, cand)
+	}
+	return report, nil
+}
+
+// AttachPolicy decides how an accepted candidate joins the ontology.
+type AttachPolicy struct {
+	// SynonymThreshold: a candidate whose best proposal scores at or
+	// above this cosine is attached as a synonym of that concept;
+	// below it, a new child concept of the proposal's concept is
+	// created.
+	SynonymThreshold float64
+	// MinCosine: proposals below this are not applied at all.
+	MinCosine float64
+}
+
+// DefaultPolicy mirrors the paper's discussion: strong context
+// identity (like "corneal injury" vs "corneal injuries") means
+// synonymy; weaker but real similarity means a nearby new concept.
+func DefaultPolicy() AttachPolicy {
+	return AttachPolicy{SynonymThreshold: 0.40, MinCosine: 0.15}
+}
+
+// Applied describes one enrichment actually performed.
+type Applied struct {
+	Term      string
+	AsSynonym bool
+	Anchor    ontology.ConceptID
+	NewID     ontology.ConceptID // set when a new concept was created
+}
+
+// Apply enriches the ontology with every non-known candidate whose
+// best proposal clears the policy, returning what was done.
+func (e *Enricher) Apply(report *Report, policy AttachPolicy) ([]Applied, error) {
+	var out []Applied
+	nextID := e.o.NumConcepts()
+	for _, cand := range report.Candidates {
+		if cand.Known || len(cand.Positions) == 0 {
+			continue
+		}
+		best := cand.Positions[0]
+		if best.Cosine < policy.MinCosine {
+			continue
+		}
+		if best.Cosine >= policy.SynonymThreshold {
+			if err := e.o.AddSynonym(best.Concept, cand.Term); err != nil {
+				return out, fmt.Errorf("core: apply %q: %w", cand.Term, err)
+			}
+			out = append(out, Applied{Term: cand.Term, AsSynonym: true, Anchor: best.Concept})
+			continue
+		}
+		// New child concept under the anchor.
+		var id ontology.ConceptID
+		for {
+			nextID++
+			id = ontology.ConceptID(fmt.Sprintf("N%06d", nextID))
+			if e.o.Concept(id) == nil {
+				break
+			}
+		}
+		if _, err := e.o.AddConcept(id, cand.Term); err != nil {
+			return out, fmt.Errorf("core: apply %q: %w", cand.Term, err)
+		}
+		if err := e.o.SetParent(id, best.Concept); err != nil {
+			return out, fmt.Errorf("core: apply %q: %w", cand.Term, err)
+		}
+		out = append(out, Applied{Term: cand.Term, Anchor: best.Concept, NewID: id})
+	}
+	if err := e.o.Validate(); err != nil {
+		return out, fmt.Errorf("core: ontology invalid after apply: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"bioenrich/internal/corpus"
+	"bioenrich/internal/ontology"
+	"bioenrich/internal/textutil"
+)
+
+// relationFixture embeds explicit relation patterns between the new
+// candidate and existing ontology terms.
+func relationFixture() (*corpus.Corpus, *ontology.Ontology) {
+	o := ontology.New("mesh")
+	if _, err := o.AddConcept("D1", "chemical burns"); err != nil {
+		panic(err)
+	}
+	if _, err := o.AddConcept("D2", "eye trauma"); err != nil {
+		panic(err)
+	}
+	if err := o.SetParent("D1", "D2"); err != nil {
+		panic(err)
+	}
+	c := corpus.New(textutil.English)
+	docs := []string{
+		"Chemical burns cause corneal abrasion in industrial settings near eye trauma units.",
+		"Chemical burns caused corneal abrasion repeatedly; eye trauma followed with scarring signs.",
+		"The corneal abrasion near chemical burns worsened; eye trauma registries recorded scarring cases.",
+		"Corneal abrasion with scarring appeared after chemical burns during eye trauma admissions.",
+	}
+	for i, text := range docs {
+		c.Add(corpus.Document{ID: string(rune('a' + i)), Text: text})
+	}
+	c.Build()
+	return c, o
+}
+
+func TestRunWithRelationExtraction(t *testing.T) {
+	c, o := relationFixture()
+	cfg := DefaultConfig()
+	cfg.ExtractRelations = true
+	cfg.TopCandidates = 25
+	e := NewEnricher(c, o, cfg)
+	report, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, cand := range report.Candidates {
+		if cand.Term != "corneal abrasion" {
+			continue
+		}
+		for _, rel := range cand.Relations {
+			if rel.Type == "causes" && rel.A == "chemical burns" && rel.B == "corneal abrasion" {
+				found = true
+			}
+			if rel.A != cand.Term && rel.B != cand.Term {
+				t.Errorf("relation not involving the candidate: %v", rel)
+			}
+		}
+	}
+	if !found {
+		t.Error("causal relation chemical burns -> corneal abrasion not extracted")
+	}
+}
+
+func TestRunWithoutRelationExtraction(t *testing.T) {
+	c, o := relationFixture()
+	e := NewEnricher(c, o, DefaultConfig())
+	report, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cand := range report.Candidates {
+		if len(cand.Relations) != 0 {
+			t.Errorf("relations extracted though disabled: %v", cand.Relations)
+		}
+	}
+}

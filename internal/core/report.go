@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteMarkdown renders the enrichment report as a human-readable
+// Markdown document — the artifact an ontology curator reviews before
+// accepting proposals (the paper frames the workflow as producing
+// "a list of terms where the new biomedical candidate term could be
+// positioned"; this is that list, for every candidate).
+func (r *Report) WriteMarkdown(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("# Ontology enrichment report\n\n")
+	fmt.Fprintf(&b, "Step I measure: `%s` — %d candidates examined.\n\n", r.Measure, len(r.Candidates))
+
+	known, fresh := 0, 0
+	for _, c := range r.Candidates {
+		if c.Known {
+			known++
+		} else {
+			fresh++
+		}
+	}
+	fmt.Fprintf(&b, "- %d new candidate terms\n- %d already in the ontology (skipped)\n\n", fresh, known)
+
+	for _, c := range r.Candidates {
+		if c.Known {
+			continue
+		}
+		fmt.Fprintf(&b, "## %s\n\n", c.Term)
+		fmt.Fprintf(&b, "Ranking score: %.4f. Polysemic: %v.\n\n", c.Score, c.Polysemic)
+		if c.Senses != nil {
+			fmt.Fprintf(&b, "Induced senses: %d\n\n", c.Senses.K)
+			for _, s := range c.Senses.Senses {
+				fmt.Fprintf(&b, "- sense %d (%d contexts):", s.ID+1, s.Size)
+				for _, f := range s.Features {
+					fmt.Fprintf(&b, " %s", f.Feature)
+				}
+				b.WriteString("\n")
+			}
+			b.WriteString("\n")
+		}
+		if len(c.Positions) > 0 {
+			b.WriteString("| # | position | cosine | relation |\n|---|---|---|---|\n")
+			for i, p := range c.Positions {
+				fmt.Fprintf(&b, "| %d | %s | %.4f | %s |\n", i+1, p.Where, p.Cosine, p.Relation)
+			}
+			b.WriteString("\n")
+		} else {
+			b.WriteString("No position proposals (candidate co-occurs with no ontology term).\n\n")
+		}
+		if len(c.Relations) > 0 {
+			b.WriteString("Typed relations:\n\n")
+			for _, rel := range c.Relations {
+				fmt.Fprintf(&b, "- %s *(verbs: %s)*\n", rel.String(), strings.Join(rel.Verbs, ", "))
+			}
+			b.WriteString("\n")
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	if err != nil {
+		return fmt.Errorf("core: write report: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteMarkdown(t *testing.T) {
+	c, o := pipelineFixture()
+	cfg := DefaultConfig()
+	cfg.ExtractRelations = true
+	e := NewEnricher(c, o, cfg)
+	report, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := report.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	md := buf.String()
+	for _, want := range []string{
+		"# Ontology enrichment report",
+		"## corneal abrasion",
+		"| # | position | cosine | relation |",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+	// Known terms don't get sections.
+	if strings.Contains(md, "## corneal injury\n") {
+		t.Error("known term rendered as a candidate section")
+	}
+}
+
+func TestWriteMarkdownEmptyReport(t *testing.T) {
+	r := &Report{Measure: "c-value"}
+	var buf bytes.Buffer
+	if err := r.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0 new candidate terms") {
+		t.Error("empty report malformed")
+	}
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"fmt"
+	"log/slog"
+)
+
+// WithLogger returns a copy of the config with progress logging.
+func (c Config) WithLogger(l *slog.Logger) Config {
+	c.Log = l
+	return c
+}
+
+// RoundReport is the outcome of one iteration of RunRounds.
+type RoundReport struct {
+	Round   int
+	Report  *Report
+	Applied []Applied
+}
+
+// RunRounds runs the enrich-apply loop repeatedly: terms applied in
+// round n become ontology anchors for round n+1, so a newly attached
+// term can pull its own neighborhood in — the compounding behaviour an
+// ontology maintenance workflow runs month over month. The loop stops
+// early when a round applies nothing.
+func (e *Enricher) RunRounds(rounds int, policy AttachPolicy) ([]RoundReport, error) {
+	var out []RoundReport
+	for r := 1; r <= rounds; r++ {
+		report, err := e.Run()
+		if err != nil {
+			return out, fmt.Errorf("core: round %d: %w", r, err)
+		}
+		applied, err := e.Apply(report, policy)
+		if err != nil {
+			return out, fmt.Errorf("core: round %d apply: %w", r, err)
+		}
+		if e.cfg.Log != nil {
+			e.cfg.Log.Info("enrichment round complete",
+				"round", r,
+				"candidates", len(report.Candidates),
+				"applied", len(applied),
+				"ontology_terms", e.o.NumTerms())
+		}
+		out = append(out, RoundReport{Round: r, Report: report, Applied: applied})
+		if len(applied) == 0 {
+			break
+		}
+	}
+	return out, nil
+}

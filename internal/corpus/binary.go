@@ -1,0 +1,105 @@
+package corpus
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"bioenrich/internal/textutil"
+)
+
+// binaryEnvelope is the gob-encoded corpus image. Unlike the JSON
+// format (documents only), the binary format also ships the token
+// streams, so loading skips re-tokenization — the expensive half of
+// Build — and only rebuilds the index.
+type binaryEnvelope struct {
+	Magic  string
+	Lang   string
+	Docs   []Document
+	Tokens [][]string
+}
+
+const binaryMagic = "bioenrich-corpus-gob-v1"
+
+// WriteBinary serializes the corpus (documents + token streams) in the
+// binary format. The corpus must be built.
+func (c *Corpus) WriteBinary(w io.Writer) error {
+	c.ensureBuilt()
+	env := binaryEnvelope{
+		Magic:  binaryMagic,
+		Lang:   c.lang.String(),
+		Docs:   c.docs,
+		Tokens: c.tokens,
+	}
+	bw := bufio.NewWriter(w)
+	if err := gob.NewEncoder(bw).Encode(&env); err != nil {
+		return fmt.Errorf("corpus: gob encode: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a corpus written by WriteBinary and rebuilds
+// its index from the shipped token streams.
+func ReadBinary(r io.Reader) (*Corpus, error) {
+	var env binaryEnvelope
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&env); err != nil {
+		return nil, fmt.Errorf("corpus: gob decode: %w", err)
+	}
+	if env.Magic != binaryMagic {
+		return nil, fmt.Errorf("corpus: unknown binary format %q", env.Magic)
+	}
+	if len(env.Tokens) != len(env.Docs) {
+		return nil, fmt.Errorf("corpus: corrupt binary image: %d token streams for %d docs",
+			len(env.Tokens), len(env.Docs))
+	}
+	c := New(textutil.ParseLang(env.Lang))
+	c.docs = env.Docs
+	c.tokens = env.Tokens
+	c.indexFromTokens()
+	return c, nil
+}
+
+// indexFromTokens rebuilds the inverted index from already-tokenized
+// streams (phase 2 of Build without phase 1).
+func (c *Corpus) indexFromTokens() {
+	c.index = make(map[string][]Posting)
+	c.df = make(map[string]int)
+	c.total = 0
+	for i, toks := range c.tokens {
+		seen := make(map[string]bool, len(toks))
+		for p, tok := range toks {
+			c.index[tok] = append(c.index[tok], Posting{Doc: int32(i), Pos: int32(p)})
+			if !seen[tok] {
+				seen[tok] = true
+				c.df[tok]++
+			}
+		}
+		c.total += len(toks)
+	}
+	c.built = true
+}
+
+// SaveBinary writes the binary image to a file.
+func (c *Corpus) SaveBinary(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("corpus: save binary: %w", err)
+	}
+	defer f.Close()
+	if err := c.WriteBinary(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadBinary reads a corpus file written by SaveBinary.
+func LoadBinary(path string) (*Corpus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: load binary: %w", err)
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}

@@ -1,0 +1,61 @@
+package corpus
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	c := buildTestCorpus()
+	var buf bytes.Buffer
+	if err := c.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.NumDocs() != c.NumDocs() || c2.NumTokens() != c.NumTokens() {
+		t.Error("binary round trip size mismatch")
+	}
+	if c2.TF("corneal injury") != c.TF("corneal injury") {
+		t.Error("binary round trip index differs")
+	}
+	if c2.Lang() != c.Lang() {
+		t.Error("language lost")
+	}
+}
+
+func TestBinaryFileRoundTrip(t *testing.T) {
+	c := buildTestCorpus()
+	path := filepath.Join(t.TempDir(), "corpus.gob")
+	if err := c.SaveBinary(path); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := LoadBinary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Vocabulary() != c.Vocabulary() {
+		t.Error("vocabulary differs after file round trip")
+	}
+}
+
+func TestBinaryErrors(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewBufferString("garbage")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadBinary("/nonexistent/path.gob"); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Unbuilt corpus cannot be serialized.
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unbuilt corpus")
+		}
+	}()
+	fresh := New(0)
+	fresh.Add(Document{ID: "x", Text: "text"})
+	_ = fresh.WriteBinary(&bytes.Buffer{})
+}

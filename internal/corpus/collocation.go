@@ -1,0 +1,121 @@
+package corpus
+
+import (
+	"math"
+	"strings"
+
+	"bioenrich/internal/textutil"
+)
+
+// Collocation statistics between words/terms, the association measures
+// classically used in terminology extraction. All use window-free
+// document-level co-occurrence: P(x) = DF(x)/N.
+
+// pDoc returns the document-level probability of a term.
+func (c *Corpus) pDoc(term string) float64 {
+	c.ensureBuilt()
+	n := float64(len(c.docs))
+	if n == 0 {
+		return 0
+	}
+	return float64(c.DF(term)) / n
+}
+
+// docSet returns the set of documents containing term.
+func (c *Corpus) docSet(term string) map[int32]bool {
+	out := map[int32]bool{}
+	for _, p := range c.Occurrences(term) {
+		out[p.Doc] = true
+	}
+	return out
+}
+
+// jointDF counts documents containing both terms.
+func (c *Corpus) jointDF(a, b string) int {
+	da, db := c.docSet(a), c.docSet(b)
+	if len(db) < len(da) {
+		da, db = db, da
+	}
+	n := 0
+	for d := range da {
+		if db[d] {
+			n++
+		}
+	}
+	return n
+}
+
+// PMI returns the pointwise mutual information
+// log2(P(a,b) / (P(a)·P(b))) of two terms at document granularity; 0
+// when either term is absent or they never co-occur.
+func (c *Corpus) PMI(a, b string) float64 {
+	pa, pb := c.pDoc(a), c.pDoc(b)
+	if pa == 0 || pb == 0 {
+		return 0
+	}
+	pab := float64(c.jointDF(a, b)) / float64(len(c.docs))
+	if pab == 0 {
+		return 0
+	}
+	return math.Log2(pab / (pa * pb))
+}
+
+// Dice returns the Dice coefficient 2·df(a,b) / (df(a) + df(b)) in
+// [0, 1].
+func (c *Corpus) Dice(a, b string) float64 {
+	da, db := c.DF(a), c.DF(b)
+	if da+db == 0 {
+		return 0
+	}
+	return 2 * float64(c.jointDF(a, b)) / float64(da+db)
+}
+
+// LogLikelihoodRatio returns Dunning's G² statistic for the
+// association of two terms (document granularity). Larger means more
+// strongly associated; 0 when either is absent.
+func (c *Corpus) LogLikelihoodRatio(a, b string) float64 {
+	c.ensureBuilt()
+	n := float64(len(c.docs))
+	if n == 0 {
+		return 0
+	}
+	k11 := float64(c.jointDF(a, b))
+	k12 := float64(c.DF(a)) - k11
+	k21 := float64(c.DF(b)) - k11
+	if k11 == 0 || c.DF(a) == 0 || c.DF(b) == 0 {
+		return 0
+	}
+	ll := func(k, total, p float64) float64 {
+		if p <= 0 || p >= 1 {
+			return 0
+		}
+		return k*math.Log(p) + (total-k)*math.Log(1-p)
+	}
+	rowA := k11 + k12
+	p := (k11 + k21) / n   // P(b)
+	p1 := k11 / rowA       // P(b|a)
+	p2 := k21 / (n - rowA) // P(b|¬a)
+	g2 := 2 * (ll(k11, rowA, p1) + ll(k21, n-rowA, p2) -
+		ll(k11, rowA, p) - ll(k21, n-rowA, p))
+	if g2 < 0 {
+		return 0 // numeric noise
+	}
+	return g2
+}
+
+// TermCohesion scores a multi-word term by the minimum pairwise Dice
+// coefficient of its adjacent words — a cheap termhood signal: words
+// of a real term co-occur consistently.
+func (c *Corpus) TermCohesion(term string) float64 {
+	words := strings.Fields(textutil.NormalizeTerm(term))
+	if len(words) < 2 {
+		return 1
+	}
+	min := math.Inf(1)
+	for i := 1; i < len(words); i++ {
+		if d := c.Dice(words[i-1], words[i]); d < min {
+			min = d
+		}
+	}
+	return min
+}

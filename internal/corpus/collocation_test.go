@@ -1,0 +1,80 @@
+package corpus
+
+import (
+	"math"
+	"testing"
+
+	"bioenrich/internal/textutil"
+)
+
+// collocCorpus: "corneal" and "injury" always co-occur; "bone" never
+// appears with them.
+func collocCorpus() *Corpus {
+	c := New(textutil.English)
+	c.AddAll([]Document{
+		{ID: "1", Text: "corneal injury healed."},
+		{ID: "2", Text: "corneal injury worsened."},
+		{ID: "3", Text: "corneal injury persists."},
+		{ID: "4", Text: "bone fracture repaired."},
+		{ID: "5", Text: "bone fracture healed."},
+		{ID: "6", Text: "unrelated filler content."},
+	})
+	c.Build()
+	return c
+}
+
+func TestPMI(t *testing.T) {
+	c := collocCorpus()
+	// P(corneal)=P(injury)=1/2? No: 3/6 each, joint 3/6.
+	// PMI = log2((1/2)/((1/2)(1/2))) = 1.
+	if got := c.PMI("corneal", "injury"); math.Abs(got-1) > 1e-9 {
+		t.Errorf("PMI = %v, want 1", got)
+	}
+	if got := c.PMI("corneal", "bone"); got != 0 {
+		t.Errorf("disjoint PMI = %v, want 0", got)
+	}
+	if got := c.PMI("corneal", "nonexistent"); got != 0 {
+		t.Errorf("missing term PMI = %v", got)
+	}
+}
+
+func TestDice(t *testing.T) {
+	c := collocCorpus()
+	if got := c.Dice("corneal", "injury"); math.Abs(got-1) > 1e-9 {
+		t.Errorf("perfect Dice = %v", got)
+	}
+	if got := c.Dice("corneal", "bone"); got != 0 {
+		t.Errorf("disjoint Dice = %v", got)
+	}
+	if got := c.Dice("missing", "absent"); got != 0 {
+		t.Errorf("missing Dice = %v", got)
+	}
+}
+
+func TestLogLikelihoodRatio(t *testing.T) {
+	c := collocCorpus()
+	strong := c.LogLikelihoodRatio("corneal", "injury")
+	if strong <= 0 {
+		t.Errorf("LLR of perfect collocation = %v", strong)
+	}
+	weak := c.LogLikelihoodRatio("healed", "corneal") // co-occur once of 2/3
+	if weak >= strong {
+		t.Errorf("LLR ordering: weak %v >= strong %v", weak, strong)
+	}
+	if got := c.LogLikelihoodRatio("corneal", "nonexistent"); got != 0 {
+		t.Errorf("missing LLR = %v", got)
+	}
+}
+
+func TestTermCohesion(t *testing.T) {
+	c := collocCorpus()
+	if got := c.TermCohesion("corneal injury"); math.Abs(got-1) > 1e-9 {
+		t.Errorf("cohesion of perfect collocation = %v", got)
+	}
+	if got := c.TermCohesion("corneal fracture"); got != 0 {
+		t.Errorf("cohesion of never-co-occurring pair = %v", got)
+	}
+	if got := c.TermCohesion("corneal"); got != 1 {
+		t.Errorf("unigram cohesion = %v, want 1", got)
+	}
+}

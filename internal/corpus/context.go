@@ -1,0 +1,189 @@
+package corpus
+
+import (
+	"strings"
+
+	"bioenrich/internal/graph"
+	"bioenrich/internal/sparse"
+	"bioenrich/internal/textutil"
+)
+
+// Context is the window of content words around one occurrence of a
+// term, the unit the sense-induction and linkage steps operate on.
+type Context struct {
+	Doc   int32
+	Pos   int32
+	Words []string // content words within the window, term words excluded
+}
+
+// Contexts returns the content-word windows (window tokens on each
+// side) around every occurrence of term. The term's own words are
+// excluded from the window; stopwords and numerics are filtered.
+func (c *Corpus) Contexts(term string, window int) []Context {
+	c.ensureBuilt()
+	words := strings.Fields(textutil.NormalizeTerm(term))
+	termSet := make(map[string]bool, len(words))
+	for _, w := range words {
+		termSet[w] = true
+	}
+	occ := c.Occurrences(term)
+	out := make([]Context, 0, len(occ))
+	for _, p := range occ {
+		toks := c.tokens[p.Doc]
+		lo := int(p.Pos) - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := int(p.Pos) + len(words) + window
+		if hi > len(toks) {
+			hi = len(toks)
+		}
+		var ctx []string
+		for i := lo; i < hi; i++ {
+			if i >= int(p.Pos) && i < int(p.Pos)+len(words) {
+				continue // the term itself
+			}
+			w := toks[i]
+			if len(w) < 2 || termSet[w] ||
+				textutil.IsNumeric(w) || textutil.IsStopword(w, c.lang) {
+				continue
+			}
+			ctx = append(ctx, w)
+		}
+		out = append(out, Context{Doc: p.Doc, Pos: p.Pos, Words: ctx})
+	}
+	return out
+}
+
+// ContextVector aggregates all of a term's contexts into one sparse
+// count vector — the term's distributional profile used by the
+// semantic-linkage cosine.
+func (c *Corpus) ContextVector(term string, window int) sparse.Vector {
+	v := sparse.New(64)
+	for _, ctx := range c.Contexts(term, window) {
+		for _, w := range ctx.Words {
+			v[w]++
+		}
+	}
+	return v
+}
+
+// ContextVectors returns one count vector per occurrence — the input
+// representation for clustering in sense induction.
+func (c *Corpus) ContextVectors(term string, window int) []sparse.Vector {
+	ctxs := c.Contexts(term, window)
+	out := make([]sparse.Vector, len(ctxs))
+	for i, ctx := range ctxs {
+		out[i] = sparse.FromCounts(ctx.Words)
+	}
+	return out
+}
+
+// CooccurrenceGraph builds the undirected co-occurrence graph of
+// content words across the whole corpus: an edge {a,b} accumulates 1
+// for every sliding window of the given size in which both appear.
+// Edges below minWeight are dropped at the end. This is the "graph
+// induced from the text corpus" of the paper's step II and the term
+// co-occurrence graph of step IV.
+func (c *Corpus) CooccurrenceGraph(window int, minWeight float64) *graph.Graph {
+	c.ensureBuilt()
+	g := graph.New()
+	for d := range c.tokens {
+		content := c.contentPositions(int32(d))
+		for i := 0; i < len(content); i++ {
+			for j := i + 1; j < len(content); j++ {
+				if content[j].pos-content[i].pos > int32(window) {
+					break
+				}
+				if content[i].word != content[j].word {
+					g.AddEdge(content[i].word, content[j].word, 1)
+				}
+			}
+		}
+	}
+	if minWeight > 1 {
+		for _, e := range g.Edges() {
+			if e.Weight < minWeight {
+				g.SetEdge(e.A, e.B, 0)
+			}
+		}
+	}
+	return g
+}
+
+// TermCooccurrenceGraph builds a co-occurrence graph restricted to the
+// given vocabulary (e.g. the extracted candidate terms plus ontology
+// labels), at sentence-window granularity. Multi-word vocabulary
+// entries are matched as phrases.
+func (c *Corpus) TermCooccurrenceGraph(vocab []string, window int) *graph.Graph {
+	c.ensureBuilt()
+	g := graph.New()
+	// Locate all occurrences per vocab entry, grouped by document.
+	type hit struct {
+		term string
+		pos  int32
+	}
+	byDoc := make(map[int32][]hit)
+	for _, term := range vocab {
+		nt := textutil.NormalizeTerm(term)
+		g.AddNode(nt)
+		for _, p := range c.Occurrences(nt) {
+			byDoc[p.Doc] = append(byDoc[p.Doc], hit{term: nt, pos: p.Pos})
+		}
+	}
+	for _, hits := range byDoc {
+		for i := 0; i < len(hits); i++ {
+			for j := i + 1; j < len(hits); j++ {
+				d := hits[j].pos - hits[i].pos
+				if d < 0 {
+					d = -d
+				}
+				if d <= int32(window) && hits[i].term != hits[j].term {
+					g.AddEdge(hits[i].term, hits[j].term, 1)
+				}
+			}
+		}
+	}
+	return g
+}
+
+type posWord struct {
+	pos  int32
+	word string
+}
+
+// contentPositions returns the positions of content words (non-stop,
+// non-numeric, length ≥ 2) in document d, in order.
+func (c *Corpus) contentPositions(d int32) []posWord {
+	toks := c.tokens[d]
+	out := make([]posWord, 0, len(toks))
+	for i, w := range toks {
+		if len(w) < 2 || textutil.IsNumeric(w) || textutil.IsStopword(w, c.lang) {
+			continue
+		}
+		out = append(out, posWord{pos: int32(i), word: w})
+	}
+	return out
+}
+
+// EgoCooccurrence builds the local co-occurrence graph around a single
+// term: nodes are the content words of the term's contexts; an edge
+// joins two words appearing in the same context window. The term
+// itself is added as a node connected to every context word. This is
+// the induced graph from which step II's 12 graph features are read.
+func (c *Corpus) EgoCooccurrence(term string, window int) *graph.Graph {
+	nt := textutil.NormalizeTerm(term)
+	g := graph.New()
+	g.AddNode(nt)
+	for _, ctx := range c.Contexts(nt, window) {
+		for i, a := range ctx.Words {
+			g.AddEdge(nt, a, 1)
+			for _, b := range ctx.Words[i+1:] {
+				if a != b {
+					g.AddEdge(a, b, 1)
+				}
+			}
+		}
+	}
+	return g
+}

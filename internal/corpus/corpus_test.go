@@ -1,0 +1,202 @@
+package corpus
+
+import (
+	"bytes"
+	"testing"
+
+	"bioenrich/internal/textutil"
+)
+
+func buildTestCorpus() *Corpus {
+	c := New(textutil.English)
+	c.AddAll([]Document{
+		{ID: "d1", Title: "Corneal injury", Text: "The corneal injury healed after treatment. Corneal injury is painful."},
+		{ID: "d2", Title: "Eye disease", Text: "Chronic eye disease includes corneal injury and corneal ulcer."},
+		{ID: "d3", Title: "Treatment", Text: "Treatment of the eye requires amniotic membrane transplantation."},
+	})
+	c.Build()
+	return c
+}
+
+func TestBuildCounts(t *testing.T) {
+	c := buildTestCorpus()
+	if c.NumDocs() != 3 {
+		t.Fatalf("docs = %d", c.NumDocs())
+	}
+	if c.NumTokens() == 0 || c.Vocabulary() == 0 {
+		t.Fatal("empty index")
+	}
+	if c.AvgDocLen() <= 0 {
+		t.Error("AvgDocLen <= 0")
+	}
+}
+
+func TestTokenStats(t *testing.T) {
+	c := buildTestCorpus()
+	// "corneal" appears in d1 (title 1 + text 2) and d2 (1): tf=5, df=2.
+	if got := c.TokenTF("corneal"); got != 5 {
+		t.Errorf("TokenTF(corneal) = %d, want 5", got)
+	}
+	if got := c.TokenDF("corneal"); got != 2 {
+		t.Errorf("TokenDF(corneal) = %d, want 2", got)
+	}
+	if got := c.TokenTF("absent"); got != 0 {
+		t.Errorf("TokenTF(absent) = %d", got)
+	}
+}
+
+func TestMultiwordOccurrences(t *testing.T) {
+	c := buildTestCorpus()
+	occ := c.Occurrences("corneal injury")
+	if len(occ) != 4 {
+		t.Fatalf("occurrences = %d, want 4 (%v)", len(occ), occ)
+	}
+	if c.TF("corneal injury") != 4 {
+		t.Error("TF mismatch")
+	}
+	if c.DF("corneal injury") != 2 {
+		t.Errorf("DF = %d, want 2", c.DF("corneal injury"))
+	}
+	// Case/spacing insensitive.
+	if c.TF("Corneal  INJURY") != 4 {
+		t.Error("normalization in Occurrences failed")
+	}
+	if c.TF("") != 0 {
+		t.Error("empty term TF != 0")
+	}
+	if c.TF("corneal treatment") != 0 {
+		t.Error("non-adjacent pair matched")
+	}
+}
+
+func TestContexts(t *testing.T) {
+	c := buildTestCorpus()
+	ctxs := c.Contexts("corneal injury", 5)
+	if len(ctxs) != 4 {
+		t.Fatalf("contexts = %d", len(ctxs))
+	}
+	for _, ctx := range ctxs {
+		for _, w := range ctx.Words {
+			if w == "corneal" || w == "injury" {
+				t.Errorf("term word %q leaked into context", w)
+			}
+			if textutil.IsStopword(w, textutil.English) {
+				t.Errorf("stopword %q in context", w)
+			}
+		}
+	}
+}
+
+func TestContextVector(t *testing.T) {
+	c := buildTestCorpus()
+	v := c.ContextVector("corneal injury", 6)
+	if len(v) == 0 {
+		t.Fatal("empty context vector")
+	}
+	if v["healed"] == 0 {
+		t.Errorf("expected 'healed' in context vector: %v", v)
+	}
+	vecs := c.ContextVectors("corneal injury", 6)
+	if len(vecs) != 4 {
+		t.Errorf("ContextVectors = %d", len(vecs))
+	}
+}
+
+func TestCooccurrenceGraph(t *testing.T) {
+	c := buildTestCorpus()
+	g := c.CooccurrenceGraph(5, 0)
+	if g.NumNodes() == 0 || g.NumEdges() == 0 {
+		t.Fatal("empty co-occurrence graph")
+	}
+	if !g.HasEdge("corneal", "injury") {
+		t.Error("corneal–injury edge missing")
+	}
+	// Stopwords never become nodes.
+	if g.HasNode("the") || g.HasNode("of") {
+		t.Error("stopword node present")
+	}
+}
+
+func TestCooccurrenceMinWeight(t *testing.T) {
+	c := buildTestCorpus()
+	full := c.CooccurrenceGraph(5, 0)
+	pruned := c.CooccurrenceGraph(5, 3)
+	if pruned.NumEdges() >= full.NumEdges() {
+		t.Errorf("pruning did not reduce edges: %d >= %d",
+			pruned.NumEdges(), full.NumEdges())
+	}
+}
+
+func TestTermCooccurrenceGraph(t *testing.T) {
+	c := buildTestCorpus()
+	g := c.TermCooccurrenceGraph([]string{"corneal injury", "corneal ulcer", "eye disease"}, 10)
+	if !g.HasNode("corneal injury") {
+		t.Fatal("vocab node missing")
+	}
+	// d2 contains all three within one sentence region.
+	if !g.HasEdge("corneal injury", "corneal ulcer") {
+		t.Error("expected co-occurrence edge injury–ulcer")
+	}
+}
+
+func TestEgoCooccurrence(t *testing.T) {
+	c := buildTestCorpus()
+	g := c.EgoCooccurrence("corneal injury", 5)
+	if !g.HasNode("corneal injury") {
+		t.Fatal("ego center missing")
+	}
+	if g.Degree("corneal injury") == 0 {
+		t.Error("ego center isolated")
+	}
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	c := buildTestCorpus()
+	var buf bytes.Buffer
+	if err := c.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.NumDocs() != c.NumDocs() || c2.Lang() != c.Lang() {
+		t.Error("round trip lost documents or language")
+	}
+	if c2.TF("corneal injury") != c.TF("corneal injury") {
+		t.Error("round trip index differs")
+	}
+}
+
+func TestReadFromBadFormat(t *testing.T) {
+	if _, err := ReadFrom(bytes.NewBufferString(`{"format":"nope"}`)); err == nil {
+		t.Error("expected format error")
+	}
+	if _, err := ReadFrom(bytes.NewBufferString(`not json`)); err == nil {
+		t.Error("expected decode error")
+	}
+}
+
+func TestQueryBeforeBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	c := New(textutil.English)
+	c.Add(Document{ID: "x", Text: "text"})
+	c.TokenTF("text") // index not built
+}
+
+func TestFrenchCorpusStopwords(t *testing.T) {
+	c := New(textutil.French)
+	c.Add(Document{ID: "f1", Text: "La maladie de crohn est une maladie chronique."})
+	c.Build()
+	g := c.CooccurrenceGraph(5, 0)
+	if g.HasNode("la") || g.HasNode("de") {
+		t.Error("french stopwords leaked into graph")
+	}
+	if c.TF("maladie") != 2 {
+		t.Errorf("TF(maladie) = %d", c.TF("maladie"))
+	}
+}

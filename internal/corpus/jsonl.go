@@ -1,0 +1,82 @@
+package corpus
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"bioenrich/internal/textutil"
+)
+
+// JSON-Lines interchange: one document object per line. The natural
+// format for streaming large PubMed-like collections — documents can
+// be appended with cat, filtered with grep, and loaded without holding
+// the whole file image in memory twice.
+
+// WriteJSONL streams the documents, one JSON object per line.
+func (c *Corpus) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range c.docs {
+		if err := enc.Encode(&c.docs[i]); err != nil {
+			return fmt.Errorf("corpus: jsonl encode doc %d: %w", i, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("corpus: jsonl flush: %w", err)
+	}
+	return nil
+}
+
+// ReadJSONL builds a corpus for lang from a JSON-Lines stream, then
+// indexes it. Blank lines are skipped; a malformed line aborts with
+// its line number.
+func ReadJSONL(r io.Reader, lang textutil.Lang) (*Corpus, error) {
+	c := New(lang)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var doc Document
+		if err := json.Unmarshal(line, &doc); err != nil {
+			return nil, fmt.Errorf("corpus: jsonl line %d: %w", lineNo, err)
+		}
+		c.Add(doc)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("corpus: jsonl read: %w", err)
+	}
+	c.Build()
+	return c, nil
+}
+
+// SaveJSONL writes the documents to a .jsonl file.
+func (c *Corpus) SaveJSONL(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("corpus: save jsonl: %w", err)
+	}
+	defer f.Close()
+	if err := c.WriteJSONL(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadJSONL reads a .jsonl file written by SaveJSONL (or assembled by
+// any other tool) and indexes it for lang.
+func LoadJSONL(path string, lang textutil.Lang) (*Corpus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: load jsonl: %w", err)
+	}
+	defer f.Close()
+	return ReadJSONL(f, lang)
+}

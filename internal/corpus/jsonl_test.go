@@ -1,0 +1,61 @@
+package corpus
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bioenrich/internal/textutil"
+)
+
+func TestJSONLRoundTrip(t *testing.T) {
+	c := buildTestCorpus()
+	var buf bytes.Buffer
+	if err := c.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// One line per document.
+	if n := strings.Count(buf.String(), "\n"); n != c.NumDocs() {
+		t.Errorf("lines = %d, docs = %d", n, c.NumDocs())
+	}
+	c2, err := ReadJSONL(&buf, textutil.English)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.NumDocs() != c.NumDocs() || c2.TF("corneal injury") != c.TF("corneal injury") {
+		t.Error("jsonl round trip differs")
+	}
+}
+
+func TestJSONLFileRoundTrip(t *testing.T) {
+	c := buildTestCorpus()
+	path := filepath.Join(t.TempDir(), "docs.jsonl")
+	if err := c.SaveJSONL(path); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := LoadJSONL(path, textutil.English)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Vocabulary() != c.Vocabulary() {
+		t.Error("vocabulary differs")
+	}
+}
+
+func TestReadJSONLSkipsBlanksRejectsGarbage(t *testing.T) {
+	good := "{\"id\":\"a\",\"title\":\"\",\"text\":\"one two\"}\n\n{\"id\":\"b\",\"title\":\"\",\"text\":\"three\"}\n"
+	c, err := ReadJSONL(strings.NewReader(good), textutil.English)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumDocs() != 2 {
+		t.Errorf("docs = %d", c.NumDocs())
+	}
+	bad := "{\"id\":\"a\"}\nnot json\n"
+	if _, err := ReadJSONL(strings.NewReader(bad), textutil.English); err == nil {
+		t.Error("garbage line accepted")
+	} else if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error lacks line number: %v", err)
+	}
+}

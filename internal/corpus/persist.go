@@ -1,0 +1,70 @@
+package corpus
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"bioenrich/internal/textutil"
+)
+
+// fileHeader is the serialized corpus envelope. Only documents and the
+// language are persisted; the index is rebuilt on load (it is cheaper
+// to rebuild than to ship and is always consistent that way).
+type fileHeader struct {
+	Format string     `json:"format"`
+	Lang   string     `json:"lang"`
+	Docs   []Document `json:"docs"`
+}
+
+const formatName = "bioenrich-corpus-v1"
+
+// Write serializes the corpus documents as JSON.
+func (c *Corpus) Write(w io.Writer) error {
+	h := fileHeader{Format: formatName, Lang: c.lang.String(), Docs: c.docs}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(&h); err != nil {
+		return fmt.Errorf("corpus: encode: %w", err)
+	}
+	return nil
+}
+
+// Save writes the corpus to a file.
+func (c *Corpus) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("corpus: save: %w", err)
+	}
+	defer f.Close()
+	if err := c.Write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFrom deserializes a corpus written by Write and builds its
+// index.
+func ReadFrom(r io.Reader) (*Corpus, error) {
+	var h fileHeader
+	if err := json.NewDecoder(r).Decode(&h); err != nil {
+		return nil, fmt.Errorf("corpus: decode: %w", err)
+	}
+	if h.Format != formatName {
+		return nil, fmt.Errorf("corpus: unknown format %q", h.Format)
+	}
+	c := New(textutil.ParseLang(h.Lang))
+	c.AddAll(h.Docs)
+	c.Build()
+	return c, nil
+}
+
+// Load reads a corpus file written by Save.
+func Load(path string) (*Corpus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: load: %w", err)
+	}
+	defer f.Close()
+	return ReadFrom(f)
+}

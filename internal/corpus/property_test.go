@@ -1,0 +1,109 @@
+package corpus
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"bioenrich/internal/textutil"
+)
+
+// randomCorpus builds a corpus of random short documents over a small
+// vocabulary, so multi-word matches actually occur.
+func randomCorpus(seed int64, nDocs int) *Corpus {
+	r := rand.New(rand.NewSource(seed))
+	vocab := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	c := New(textutil.English)
+	for d := 0; d < nDocs; d++ {
+		words := make([]string, 5+r.Intn(20))
+		for i := range words {
+			words[i] = vocab[r.Intn(len(vocab))]
+		}
+		c.Add(Document{ID: string(rune('a' + d)), Text: strings.Join(words, " ")})
+	}
+	c.Build()
+	return c
+}
+
+// TestOccurrencePositionsProperty verifies that every posting returned
+// by Occurrences really locates the term in the token stream.
+func TestOccurrencePositionsProperty(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		c := randomCorpus(seed, 6)
+		for _, term := range []string{"alpha", "beta gamma", "delta epsilon zeta"} {
+			words := strings.Fields(term)
+			for _, occ := range c.Occurrences(term) {
+				toks := c.Tokens(int(occ.Doc))
+				for i, w := range words {
+					if toks[int(occ.Pos)+i] != w {
+						t.Fatalf("seed %d: posting %v does not match %q", seed, occ, term)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDFLETFProperty: document frequency never exceeds collection
+// frequency, and both are consistent with Occurrences.
+func TestDFLETFProperty(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		c := randomCorpus(seed, 8)
+		for _, term := range []string{"alpha", "beta gamma", "zeta zeta"} {
+			tf, df := c.TF(term), c.DF(term)
+			if df > tf {
+				t.Fatalf("seed %d: DF %d > TF %d for %q", seed, df, tf, term)
+			}
+			if tf != len(c.Occurrences(term)) {
+				t.Fatalf("seed %d: TF inconsistent with Occurrences", seed)
+			}
+			if df > c.NumDocs() {
+				t.Fatalf("seed %d: DF %d > docs %d", seed, df, c.NumDocs())
+			}
+		}
+	}
+}
+
+// TestSearchSelfRetrievalProperty: a document's own exact words
+// retrieve that document.
+func TestSearchSelfRetrievalProperty(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		c := randomCorpus(seed, 5)
+		doc := c.Doc(0)
+		hits := c.Search(doc.Text, c.NumDocs())
+		found := false
+		for _, h := range hits {
+			if h.ID == doc.ID {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("seed %d: document not retrieved by its own text", seed)
+		}
+	}
+}
+
+// TestContextWindowBound: contexts never exceed 2×window words.
+func TestContextWindowBound(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		c := randomCorpus(seed, 5)
+		for _, w := range []int{1, 3, 7} {
+			for _, ctx := range c.Contexts("alpha", w) {
+				if len(ctx.Words) > 2*w {
+					t.Fatalf("seed %d: context of %d words for window %d",
+						seed, len(ctx.Words), w)
+				}
+			}
+		}
+	}
+}
+
+// TestRebuildIdempotent: building twice yields identical statistics.
+func TestRebuildIdempotent(t *testing.T) {
+	c := randomCorpus(3, 6)
+	tf1, v1 := c.TF("alpha"), c.Vocabulary()
+	c.Build()
+	if c.TF("alpha") != tf1 || c.Vocabulary() != v1 {
+		t.Error("rebuild changed statistics")
+	}
+}

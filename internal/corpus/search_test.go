@@ -1,0 +1,73 @@
+package corpus
+
+import (
+	"testing"
+
+	"bioenrich/internal/textutil"
+)
+
+func TestSearchRanksRelevantFirst(t *testing.T) {
+	c := buildTestCorpus()
+	hits := c.Search("corneal injury", 10)
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	// d1 mentions "corneal injury" three times (title + 2 body); it
+	// must outrank d3, which mentions neither word.
+	if hits[0].ID != "d1" {
+		t.Errorf("top hit = %s, want d1 (%v)", hits[0].ID, hits)
+	}
+	for _, h := range hits {
+		if h.ID == "d3" {
+			t.Error("irrelevant doc d3 retrieved for 'corneal injury'")
+		}
+	}
+	// Descending scores.
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Score > hits[i-1].Score {
+			t.Error("hits not sorted")
+		}
+	}
+}
+
+func TestSearchStopwordOnlyQuery(t *testing.T) {
+	c := buildTestCorpus()
+	if hits := c.Search("the of and", 5); hits != nil {
+		t.Errorf("stopword query returned %v", hits)
+	}
+	if hits := c.Search("", 5); hits != nil {
+		t.Errorf("empty query returned %v", hits)
+	}
+}
+
+func TestSearchTopN(t *testing.T) {
+	c := buildTestCorpus()
+	if hits := c.Search("eye treatment", 1); len(hits) > 1 {
+		t.Errorf("n=1 returned %d hits", len(hits))
+	}
+}
+
+func TestSubCorpus(t *testing.T) {
+	c := buildTestCorpus()
+	sub := c.SubCorpus([]int{0, 2, 99, -1})
+	if sub.NumDocs() != 2 {
+		t.Errorf("sub docs = %d, want 2 (out-of-range ignored)", sub.NumDocs())
+	}
+	if sub.TF("corneal injury") == 0 {
+		t.Error("sub corpus lost content")
+	}
+	if sub.Lang() != textutil.English {
+		t.Error("sub corpus lost language")
+	}
+}
+
+func TestRetrieveContextCorpus(t *testing.T) {
+	c := buildTestCorpus()
+	sub := c.RetrieveContextCorpus("corneal injury", 2)
+	if sub.NumDocs() == 0 || sub.NumDocs() > 2 {
+		t.Fatalf("retrieved %d docs", sub.NumDocs())
+	}
+	if sub.TF("corneal injury") == 0 {
+		t.Error("retrieved corpus lacks the query term")
+	}
+}

@@ -1,0 +1,79 @@
+package eval
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Interval is a two-sided confidence interval around a point estimate.
+type Interval struct {
+	Point, Lo, Hi float64
+}
+
+// Bootstrap computes a percentile bootstrap confidence interval for an
+// arbitrary statistic over per-item values: resample items with
+// replacement, recompute the statistic, take the (α/2, 1−α/2)
+// percentiles. Deterministic for a given seed.
+func Bootstrap(items []float64, stat func([]float64) float64,
+	resamples int, alpha float64, seed int64) Interval {
+	point := stat(items)
+	if len(items) == 0 || resamples < 1 {
+		return Interval{Point: point, Lo: point, Hi: point}
+	}
+	r := rand.New(rand.NewSource(seed))
+	vals := make([]float64, resamples)
+	sample := make([]float64, len(items))
+	for b := 0; b < resamples; b++ {
+		for i := range sample {
+			sample[i] = items[r.Intn(len(items))]
+		}
+		vals[b] = stat(sample)
+	}
+	sort.Float64s(vals)
+	lo := percentile(vals, alpha/2)
+	hi := percentile(vals, 1-alpha/2)
+	return Interval{Point: point, Lo: lo, Hi: hi}
+}
+
+// percentile returns the p-quantile (0..1) of sorted values by linear
+// interpolation.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// BootstrapPrecisionAtK computes the P@k point estimate over per-query
+// correctness lists together with a 95% bootstrap interval — the error
+// bars EXPERIMENTS.md quotes for Table 4.
+func BootstrapPrecisionAtK(results [][]bool, k, resamples int, seed int64) Interval {
+	// Reduce each query to its hit-within-k indicator; P@k is then a
+	// mean of 0/1 items, which bootstraps cleanly.
+	items := make([]float64, len(results))
+	for i, props := range results {
+		limit := k
+		if limit > len(props) {
+			limit = len(props)
+		}
+		for j := 0; j < limit; j++ {
+			if props[j] {
+				items[i] = 1
+				break
+			}
+		}
+	}
+	return Bootstrap(items, Mean, resamples, 0.05, seed)
+}

@@ -1,0 +1,89 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBootstrapContainsPoint(t *testing.T) {
+	items := []float64{0, 0, 1, 1, 1, 0, 1, 1}
+	iv := Bootstrap(items, Mean, 500, 0.05, 1)
+	if iv.Point != Mean(items) {
+		t.Errorf("point = %v", iv.Point)
+	}
+	if iv.Lo > iv.Point || iv.Hi < iv.Point {
+		t.Errorf("interval [%v, %v] excludes point %v", iv.Lo, iv.Hi, iv.Point)
+	}
+	if iv.Lo < 0 || iv.Hi > 1 {
+		t.Errorf("interval outside the statistic's range: [%v, %v]", iv.Lo, iv.Hi)
+	}
+}
+
+func TestBootstrapDegenerate(t *testing.T) {
+	iv := Bootstrap(nil, Mean, 100, 0.05, 1)
+	if iv.Lo != iv.Point || iv.Hi != iv.Point {
+		t.Errorf("empty input interval = %+v", iv)
+	}
+	// Constant data: zero-width interval.
+	iv = Bootstrap([]float64{0.5, 0.5, 0.5}, Mean, 100, 0.05, 1)
+	if iv.Lo != 0.5 || iv.Hi != 0.5 {
+		t.Errorf("constant data interval = %+v", iv)
+	}
+}
+
+func TestBootstrapDeterministic(t *testing.T) {
+	items := []float64{1, 2, 3, 4, 5}
+	a := Bootstrap(items, Mean, 200, 0.05, 7)
+	b := Bootstrap(items, Mean, 200, 0.05, 7)
+	if a != b {
+		t.Errorf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestBootstrapWidthShrinksWithN(t *testing.T) {
+	small := make([]float64, 10)
+	large := make([]float64, 1000)
+	for i := range small {
+		small[i] = float64(i % 2)
+	}
+	for i := range large {
+		large[i] = float64(i % 2)
+	}
+	ws := func(iv Interval) float64 { return iv.Hi - iv.Lo }
+	if ws(Bootstrap(large, Mean, 300, 0.05, 1)) >= ws(Bootstrap(small, Mean, 300, 0.05, 1)) {
+		t.Error("interval did not shrink with sample size")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	if got := percentile(vals, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := percentile(vals, 1); got != 5 {
+		t.Errorf("p1 = %v", got)
+	}
+	if got := percentile(vals, 0.5); got != 3 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := percentile(vals, 0.25); math.Abs(got-2) > 1e-9 {
+		t.Errorf("p25 = %v", got)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+}
+
+func TestBootstrapPrecisionAtK(t *testing.T) {
+	results := [][]bool{
+		{true, false}, {false, true}, {false, false}, {true, false},
+	}
+	iv := BootstrapPrecisionAtK(results, 1, 300, 1)
+	if math.Abs(iv.Point-0.5) > 1e-9 {
+		t.Errorf("P@1 point = %v", iv.Point)
+	}
+	iv2 := BootstrapPrecisionAtK(results, 2, 300, 1)
+	if iv2.Point < iv.Point {
+		t.Error("P@2 < P@1")
+	}
+}

@@ -1,0 +1,39 @@
+package eval
+
+import "math"
+
+// McNemar compares two classifiers evaluated on the same items: given
+// parallel correctness slices, it returns the chi-squared statistic
+// with continuity correction, (|b−c|−1)²/(b+c), where b counts items
+// only A got right and c items only B got right, plus the two
+// discordant counts. A statistic above 3.84 rejects equal error rates
+// at α = 0.05 (χ², 1 df). When b + c = 0 the statistic is 0 (the
+// classifiers are indistinguishable on this sample).
+func McNemar(correctA, correctB []bool) (statistic float64, onlyA, onlyB int) {
+	n := len(correctA)
+	if len(correctB) < n {
+		n = len(correctB)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case correctA[i] && !correctB[i]:
+			onlyA++
+		case !correctA[i] && correctB[i]:
+			onlyB++
+		}
+	}
+	if onlyA+onlyB == 0 {
+		return 0, onlyA, onlyB
+	}
+	d := math.Abs(float64(onlyA-onlyB)) - 1
+	if d < 0 {
+		d = 0
+	}
+	return d * d / float64(onlyA+onlyB), onlyA, onlyB
+}
+
+// McNemarSignificant reports whether the statistic rejects the
+// equal-error hypothesis at α = 0.05.
+func McNemarSignificant(statistic float64) bool {
+	return statistic > 3.841458820694124 // χ²(1) 95th percentile
+}

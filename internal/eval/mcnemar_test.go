@@ -1,0 +1,58 @@
+package eval
+
+import "testing"
+
+func TestMcNemarIdentical(t *testing.T) {
+	a := []bool{true, false, true, true}
+	stat, onlyA, onlyB := McNemar(a, a)
+	if stat != 0 || onlyA != 0 || onlyB != 0 {
+		t.Errorf("identical classifiers: stat=%v a=%d b=%d", stat, onlyA, onlyB)
+	}
+	if McNemarSignificant(stat) {
+		t.Error("identical classifiers flagged significant")
+	}
+}
+
+func TestMcNemarOneSided(t *testing.T) {
+	// A right on 20 items B misses; B never right where A is wrong.
+	a := make([]bool, 40)
+	b := make([]bool, 40)
+	for i := 0; i < 20; i++ {
+		a[i] = true
+	}
+	for i := 20; i < 40; i++ {
+		a[i], b[i] = true, true
+	}
+	stat, onlyA, onlyB := McNemar(a, b)
+	if onlyA != 20 || onlyB != 0 {
+		t.Fatalf("discordants = %d/%d", onlyA, onlyB)
+	}
+	// (|20-0|-1)²/20 = 361/20 = 18.05.
+	if stat < 18 || stat > 18.1 {
+		t.Errorf("stat = %v", stat)
+	}
+	if !McNemarSignificant(stat) {
+		t.Error("clear difference not significant")
+	}
+}
+
+func TestMcNemarBalancedDiscordance(t *testing.T) {
+	// 3 vs 3 discordant: (|0|-1)² -> clamped to 0 -> stat 0... with
+	// continuity correction (|3-3|-1) is negative, clamped: stat = 0.
+	a := []bool{true, true, true, false, false, false}
+	b := []bool{false, false, false, true, true, true}
+	stat, onlyA, onlyB := McNemar(a, b)
+	if onlyA != 3 || onlyB != 3 {
+		t.Fatalf("discordants = %d/%d", onlyA, onlyB)
+	}
+	if stat != 0 {
+		t.Errorf("balanced discordance stat = %v", stat)
+	}
+}
+
+func TestMcNemarLengthMismatch(t *testing.T) {
+	stat, onlyA, onlyB := McNemar([]bool{true, true}, []bool{false})
+	if onlyA != 1 || onlyB != 0 {
+		t.Errorf("short-slice handling: a=%d b=%d stat=%v", onlyA, onlyB, stat)
+	}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"bioenrich/internal/cluster"
+	"bioenrich/internal/senseind"
+	"bioenrich/internal/synth"
+)
+
+// E5 — clustering quality at the gold k (extension): how well each
+// algorithm × representation recovers the gold sense partition when k
+// is given, isolating the clustering substrate from the k-prediction
+// contribution of the Table 2 indexes.
+func E5(entities, contextsPerSense int, seed int64) ([]senseind.QualityCell, error) {
+	wsd := synth.DefaultWSDOptions()
+	wsd.Seed = seed
+	wsd.NumEntities = entities
+	wsd.ContextsPerSense = contextsPerSense
+	ds := synth.GenerateMSHWSD(wsd)
+	var cells []senseind.QualityCell
+	for _, alg := range cluster.Algorithms {
+		for _, rep := range senseind.Representations {
+			cell, err := senseind.EvaluateClusterQuality(ds, alg, rep, seed)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: E5: %w", err)
+			}
+			cells = append(cells, cell)
+		}
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].MeanARI != cells[j].MeanARI {
+			return cells[i].MeanARI > cells[j].MeanARI
+		}
+		return string(cells[i].Algorithm)+string(cells[i].Representation) <
+			string(cells[j].Algorithm)+string(cells[j].Representation)
+	})
+	return cells, nil
+}
+
+// WriteE5 renders the clustering-quality table.
+func WriteE5(w io.Writer, cells []senseind.QualityCell) {
+	fmt.Fprintln(w, "E5 (extension): clustering quality at the gold k (external indexes vs gold senses)")
+	fmt.Fprintf(w, "%-7s %-6s %9s %9s %9s\n", "algo", "rep", "ARI", "NMI", "purity")
+	for i, c := range cells {
+		marker := ""
+		if i == 0 {
+			marker = "  <- best"
+		}
+		fmt.Fprintf(w, "%-7s %-6s %9.3f %9.3f %9.3f%s\n",
+			c.Algorithm, c.Representation, c.MeanARI, c.MeanNMI, c.MeanPurity, marker)
+	}
+}

@@ -1,0 +1,56 @@
+package graph
+
+// Betweenness computes the (unweighted, unnormalized) betweenness
+// centrality of every node using Brandes' algorithm (A Faster Algorithm
+// for Betweenness Centrality, 2001). For undirected graphs each pair is
+// counted once.
+func (g *Graph) Betweenness() map[string]float64 {
+	cb := make(map[string]float64, g.NumNodes())
+	nodes := g.Nodes()
+	// Precompute sorted adjacency once: Neighbors sorts per call, which
+	// dominates on the dense ego graphs the features pipeline feeds in.
+	nbrs := make(map[string][]string, len(nodes))
+	for _, n := range nodes {
+		cb[n] = 0
+		nbrs[n] = g.Neighbors(n)
+	}
+	for _, s := range nodes {
+		// Single-source shortest paths (BFS).
+		var stack []string
+		pred := make(map[string][]string, len(nodes))
+		sigma := map[string]float64{s: 1}
+		dist := map[string]int{s: 0}
+		queue := []string{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			stack = append(stack, v)
+			for _, w := range nbrs[v] {
+				if _, seen := dist[w]; !seen {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+				if dist[w] == dist[v]+1 {
+					sigma[w] += sigma[v]
+					pred[w] = append(pred[w], v)
+				}
+			}
+		}
+		// Accumulation in reverse BFS order.
+		delta := make(map[string]float64, len(stack))
+		for i := len(stack) - 1; i >= 0; i-- {
+			w := stack[i]
+			for _, v := range pred[w] {
+				delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+			}
+			if w != s {
+				cb[w] += delta[w]
+			}
+		}
+	}
+	// Each undirected pair was counted twice (once per endpoint as source).
+	for n := range cb {
+		cb[n] /= 2
+	}
+	return cb
+}

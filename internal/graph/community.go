@@ -1,0 +1,89 @@
+package graph
+
+import "sort"
+
+// LabelPropagation detects communities by synchronous-free iterative
+// label spreading (Raghavan et al. 2007): every node adopts the label
+// carried by the (weighted) majority of its neighbors until no label
+// changes. Deterministic: nodes are visited in sorted order and ties
+// break toward the smallest label. Returns communities as sorted node
+// groups, largest first.
+func (g *Graph) LabelPropagation(maxIters int) [][]string {
+	nodes := g.Nodes()
+	label := make(map[string]string, len(nodes))
+	for _, n := range nodes {
+		label[n] = n
+	}
+	for it := 0; it < maxIters; it++ {
+		changed := false
+		for _, n := range nodes {
+			if g.Degree(n) == 0 {
+				continue
+			}
+			weights := map[string]float64{}
+			for nb, w := range g.adj[n] {
+				weights[label[nb]] += w
+			}
+			best, bestW := label[n], weights[label[n]]
+			// Deterministic scan in sorted label order.
+			keys := make([]string, 0, len(weights))
+			for l := range weights {
+				keys = append(keys, l)
+			}
+			sort.Strings(keys)
+			for _, l := range keys {
+				if weights[l] > bestW {
+					best, bestW = l, weights[l]
+				}
+			}
+			if best != label[n] {
+				label[n] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	byLabel := map[string][]string{}
+	for _, n := range nodes {
+		byLabel[label[n]] = append(byLabel[label[n]], n)
+	}
+	out := make([][]string, 0, len(byLabel))
+	for _, group := range byLabel {
+		sort.Strings(group)
+		out = append(out, group)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		return out[i][0] < out[j][0]
+	})
+	return out
+}
+
+// Modularity returns the Newman modularity Q of a node partition over
+// this graph (weighted), in [-0.5, 1]. Higher means denser intra-group
+// structure than expected at random.
+func (g *Graph) Modularity(groups [][]string) float64 {
+	m2 := 2 * g.TotalWeight() // 2m
+	if m2 == 0 {
+		return 0
+	}
+	groupOf := map[string]int{}
+	for gi, group := range groups {
+		for _, n := range group {
+			groupOf[n] = gi
+		}
+	}
+	var q float64
+	for _, a := range g.Nodes() {
+		for b, w := range g.adj[a] {
+			if groupOf[a] == groupOf[b] {
+				q += w - g.WeightedDegree(a)*g.WeightedDegree(b)/m2
+			}
+		}
+	}
+	return q / m2
+}

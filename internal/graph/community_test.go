@@ -1,0 +1,95 @@
+package graph
+
+import "testing"
+
+// twoCliques builds two dense triangles joined by a weak bridge.
+func twoCliques() *Graph {
+	g := New()
+	for _, e := range [][2]string{{"a1", "a2"}, {"a2", "a3"}, {"a1", "a3"}} {
+		g.AddEdge(e[0], e[1], 5)
+	}
+	for _, e := range [][2]string{{"b1", "b2"}, {"b2", "b3"}, {"b1", "b3"}} {
+		g.AddEdge(e[0], e[1], 5)
+	}
+	g.AddEdge("a1", "b1", 0.1)
+	return g
+}
+
+func TestLabelPropagationFindsCliques(t *testing.T) {
+	g := twoCliques()
+	comms := g.LabelPropagation(20)
+	if len(comms) != 2 {
+		t.Fatalf("communities = %d: %v", len(comms), comms)
+	}
+	side := map[string]int{}
+	for ci, comm := range comms {
+		for _, n := range comm {
+			side[n] = ci
+		}
+	}
+	if side["a1"] != side["a2"] || side["a2"] != side["a3"] {
+		t.Errorf("a-clique split: %v", comms)
+	}
+	if side["b1"] != side["b2"] || side["b2"] != side["b3"] {
+		t.Errorf("b-clique split: %v", comms)
+	}
+}
+
+func TestLabelPropagationDeterministic(t *testing.T) {
+	a := twoCliques().LabelPropagation(20)
+	b := twoCliques().LabelPropagation(20)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic community count")
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatal("nondeterministic community sizes")
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("nondeterministic membership")
+			}
+		}
+	}
+}
+
+func TestLabelPropagationCoversAllNodes(t *testing.T) {
+	g := twoCliques()
+	g.AddNode("isolated")
+	comms := g.LabelPropagation(20)
+	total := 0
+	for _, c := range comms {
+		total += len(c)
+	}
+	if total != g.NumNodes() {
+		t.Errorf("covered %d of %d nodes", total, g.NumNodes())
+	}
+}
+
+func TestModularity(t *testing.T) {
+	g := twoCliques()
+	good := [][]string{{"a1", "a2", "a3"}, {"b1", "b2", "b3"}}
+	bad := [][]string{{"a1", "b2", "a3"}, {"b1", "a2", "b3"}}
+	qGood, qBad := g.Modularity(good), g.Modularity(bad)
+	if qGood <= qBad {
+		t.Errorf("modularity ordering: good %v <= bad %v", qGood, qBad)
+	}
+	if qGood <= 0 {
+		t.Errorf("good partition modularity = %v", qGood)
+	}
+	if got := New().Modularity(nil); got != 0 {
+		t.Errorf("empty graph modularity = %v", got)
+	}
+}
+
+func TestLabelPropagationModularityAgreement(t *testing.T) {
+	// The detected communities score at least as well as the trivial
+	// one-group partition.
+	g := twoCliques()
+	comms := g.LabelPropagation(20)
+	all := [][]string{g.Nodes()}
+	if g.Modularity(comms) <= g.Modularity(all) {
+		t.Errorf("LP modularity %v <= trivial %v",
+			g.Modularity(comms), g.Modularity(all))
+	}
+}

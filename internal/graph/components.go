@@ -1,0 +1,99 @@
+package graph
+
+import "sort"
+
+// Components returns the connected components as sorted node slices,
+// largest first (ties broken by first node).
+func (g *Graph) Components() [][]string {
+	seen := make(map[string]bool, g.NumNodes())
+	var comps [][]string
+	for _, start := range g.Nodes() {
+		if seen[start] {
+			continue
+		}
+		var comp []string
+		queue := []string{start}
+		seen[start] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			comp = append(comp, v)
+			for nb := range g.adj[v] {
+				if !seen[nb] {
+					seen[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+		}
+		sort.Strings(comp)
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool {
+		if len(comps[i]) != len(comps[j]) {
+			return len(comps[i]) > len(comps[j])
+		}
+		return comps[i][0] < comps[j][0]
+	})
+	return comps
+}
+
+// NumComponents returns the number of connected components.
+func (g *Graph) NumComponents() int {
+	return len(g.Components())
+}
+
+// KCore returns the maximal induced subgraph in which every node has
+// degree ≥ k (the k-core). May be empty.
+func (g *Graph) KCore(k int) *Graph {
+	core := g.Clone()
+	for {
+		var drop []string
+		for _, n := range core.Nodes() {
+			if core.Degree(n) < k {
+				drop = append(drop, n)
+			}
+		}
+		if len(drop) == 0 {
+			return core
+		}
+		for _, n := range drop {
+			core.RemoveNode(n)
+		}
+	}
+}
+
+// CoreNumber returns, per node, the largest k such that the node
+// belongs to the k-core (Batagelj–Zaveršnik style peeling).
+func (g *Graph) CoreNumber() map[string]int {
+	core := make(map[string]int, g.NumNodes())
+	work := g.Clone()
+	k := 0
+	for work.NumNodes() > 0 {
+		// Peel all nodes of minimum degree.
+		minDeg := -1
+		for _, n := range work.Nodes() {
+			if d := work.Degree(n); minDeg == -1 || d < minDeg {
+				minDeg = d
+			}
+		}
+		if minDeg > k {
+			k = minDeg
+		}
+		for {
+			var drop []string
+			for _, n := range work.Nodes() {
+				if work.Degree(n) <= k {
+					drop = append(drop, n)
+				}
+			}
+			if len(drop) == 0 {
+				break
+			}
+			for _, n := range drop {
+				core[n] = k
+				work.RemoveNode(n)
+			}
+		}
+	}
+	return core
+}

@@ -1,0 +1,101 @@
+package linkage
+
+import (
+	"fmt"
+	"sort"
+
+	"bioenrich/internal/corpus"
+	"bioenrich/internal/eval"
+	"bioenrich/internal/ontology"
+)
+
+// TermResult records the evaluation of one held-out candidate.
+type TermResult struct {
+	Term      string
+	Proposals []Proposal
+	Correct   []bool // Correct[i]: proposal i is a gold synonym/father/son
+}
+
+// Result aggregates the step IV evaluation (the paper's Table 4).
+type Result struct {
+	PerTerm     []TermResult
+	PrecisionAt map[int]float64 // cutoffs 1, 2, 5, 10
+	MRR         float64
+	Skipped     []string // candidates with no contexts/neighbors
+}
+
+// Cutoffs are the Table 4 ranks.
+var Cutoffs = []int{1, 2, 5, 10}
+
+// Evaluate reproduces the paper's step IV protocol over a set of
+// candidate terms known to belong to the full ontology: each term is
+// held out (removed from a cloned ontology), positions are proposed
+// against the reduced ontology, and a proposal counts as correct when
+// it is one of the term's gold paradigmatic relatives — a synonym,
+// father or son term in the full ontology.
+func Evaluate(full *ontology.Ontology, c *corpus.Corpus, candidates []string,
+	topN int, opts Options) (*Result, error) {
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("linkage: no candidates to evaluate")
+	}
+	res := &Result{PrecisionAt: make(map[int]float64)}
+	var ranked [][]bool
+	for _, cand := range candidates {
+		gold := full.RelatedTerms(cand)
+		reduced := full.Clone()
+		reduced.RemoveTerm(cand)
+		linker := New(c, reduced, opts)
+		proposals, err := linker.Propose(cand, topN)
+		if err != nil {
+			res.Skipped = append(res.Skipped, cand)
+			continue
+		}
+		correct := make([]bool, len(proposals))
+		for i, p := range proposals {
+			correct[i] = gold[p.Where]
+		}
+		res.PerTerm = append(res.PerTerm, TermResult{
+			Term: cand, Proposals: proposals, Correct: correct,
+		})
+		ranked = append(ranked, correct)
+	}
+	if len(ranked) == 0 {
+		return nil, fmt.Errorf("linkage: every candidate was skipped")
+	}
+	for _, k := range Cutoffs {
+		res.PrecisionAt[k] = eval.PrecisionAtK(ranked, k)
+	}
+	res.MRR = eval.MRR(ranked)
+	return res, nil
+}
+
+// PickRecentTerms selects n evaluation candidates from an ontology the
+// way the paper collects its 60 MeSH terms (terms "added between 2009
+// and 2015"): here, the lexically last n multi-word synonym terms
+// whose removal keeps their concept alive — i.e. terms that genuinely
+// were additions to an existing structure. Deterministic.
+func PickRecentTerms(o *ontology.Ontology, c *corpus.Corpus, n int) []string {
+	var pool []string
+	for _, id := range o.ConceptIDs() {
+		con := o.Concept(id)
+		if len(con.Synonyms) == 0 || len(con.Parents) == 0 {
+			continue // need a surviving concept and gold fathers
+		}
+		for _, s := range con.Synonyms {
+			if c.TF(s) > 0 {
+				pool = append(pool, s)
+			}
+		}
+	}
+	sort.Strings(pool)
+	if len(pool) > n {
+		// Spread selections across the pool for topical diversity.
+		step := len(pool) / n
+		out := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, pool[i*step])
+		}
+		return out
+	}
+	return pool
+}

@@ -1,0 +1,214 @@
+// Package linkage implements step IV of the workflow: positioning a
+// new biomedical candidate term in an existing ontology. Following the
+// paper: (1) a term co-occurrence graph restricted to the candidate's
+// MeSH neighborhood is built from the corpus; (2) the candidate's
+// context is compared — by cosine — with the contexts of its MeSH
+// neighbors and of those neighbors' fathers and sons; (3) the top-N
+// most similar ontology terms are proposed as positions.
+package linkage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bioenrich/internal/corpus"
+	"bioenrich/internal/ontology"
+	"bioenrich/internal/sparse"
+	"bioenrich/internal/textutil"
+)
+
+// Relation explains why a term entered the comparison pool.
+type Relation string
+
+// Relations of proposals to the candidate's co-occurrence neighborhood.
+const (
+	Neighbor Relation = "neighbor" // co-occurs with the candidate
+	Father   Relation = "father"   // parent concept of a neighbor
+	Son      Relation = "son"      // child concept of a neighbor
+)
+
+// Proposal is one ranked position suggestion: the candidate could be
+// attached at (as a synonym of, or child/parent of) this ontology term.
+type Proposal struct {
+	Where    string // the ontology term proposed as anchor
+	Concept  ontology.ConceptID
+	Cosine   float64
+	Relation Relation
+}
+
+// Options configures the linker.
+type Options struct {
+	ContextWindow int  // window for context vectors (default 8)
+	CooccurWindow int  // window for neighbor detection (default 20)
+	ExpandFathers bool // include neighbors' parents (default true)
+	ExpandSons    bool // include neighbors' children (default true)
+	MaxNeighbors  int  // cap on direct neighbors considered (default 40)
+	// CoherenceLambda, when > 0, re-ranks proposals by blending the
+	// context cosine with structural coherence (see CoherenceRerank).
+	// 0 (the default, and the paper's method) disables re-ranking.
+	CoherenceLambda float64
+}
+
+// DefaultOptions mirrors the paper's setup.
+func DefaultOptions() Options {
+	return Options{
+		ContextWindow: 8,
+		CooccurWindow: 20,
+		ExpandFathers: true,
+		ExpandSons:    true,
+		MaxNeighbors:  40,
+	}
+}
+
+// Linker proposes ontology positions for candidate terms.
+type Linker struct {
+	c    *corpus.Corpus
+	o    *ontology.Ontology
+	opts Options
+}
+
+// New builds a linker over a corpus and the target ontology.
+func New(c *corpus.Corpus, o *ontology.Ontology, opts Options) *Linker {
+	if opts.ContextWindow == 0 {
+		opts = DefaultOptions()
+	}
+	return &Linker{c: c, o: o, opts: opts}
+}
+
+// Propose returns the top-N position proposals for a candidate term,
+// best first. The candidate must occur in the corpus.
+func (l *Linker) Propose(candidate string, topN int) ([]Proposal, error) {
+	cand := textutil.NormalizeTerm(candidate)
+	candVec := l.c.ContextVector(cand, l.opts.ContextWindow)
+	if len(candVec) == 0 {
+		return nil, fmt.Errorf("linkage: candidate %q has no corpus contexts", candidate)
+	}
+
+	neighbors := l.meshNeighbors(cand)
+	if len(neighbors) == 0 {
+		return nil, fmt.Errorf("linkage: candidate %q co-occurs with no ontology term", candidate)
+	}
+
+	// Comparison pool: neighbors plus their fathers' and sons' terms.
+	type poolEntry struct {
+		concept  ontology.ConceptID
+		relation Relation
+	}
+	pool := make(map[string]poolEntry)
+	addTerms := func(id ontology.ConceptID, rel Relation) {
+		c := l.o.Concept(id)
+		if c == nil {
+			return
+		}
+		for _, t := range c.Terms() {
+			if t == cand {
+				continue
+			}
+			if _, exists := pool[t]; !exists {
+				pool[t] = poolEntry{concept: id, relation: rel}
+			}
+		}
+	}
+	for _, nb := range neighbors {
+		for _, id := range l.o.ConceptsForTerm(nb) {
+			addTerms(id, Neighbor)
+			c := l.o.Concept(id)
+			if l.opts.ExpandFathers {
+				for _, p := range c.Parents {
+					addTerms(p, Father)
+				}
+			}
+			if l.opts.ExpandSons {
+				for _, ch := range c.Children {
+					addTerms(ch, Son)
+				}
+			}
+		}
+	}
+
+	// Rank the pool by context cosine with the candidate.
+	proposals := make([]Proposal, 0, len(pool))
+	for term, pe := range pool {
+		v := l.c.ContextVector(term, l.opts.ContextWindow)
+		if len(v) == 0 {
+			continue // ontology term absent from the corpus
+		}
+		proposals = append(proposals, Proposal{
+			Where:    term,
+			Concept:  pe.concept,
+			Cosine:   candVec.Cosine(v),
+			Relation: pe.relation,
+		})
+	}
+	sort.Slice(proposals, func(i, j int) bool {
+		if proposals[i].Cosine != proposals[j].Cosine {
+			return proposals[i].Cosine > proposals[j].Cosine
+		}
+		return proposals[i].Where < proposals[j].Where
+	})
+	if l.opts.CoherenceLambda > 0 {
+		proposals = CoherenceRerank(l.o, proposals, l.opts.CoherenceLambda)
+	}
+	if topN > 0 && topN < len(proposals) {
+		proposals = proposals[:topN]
+	}
+	return proposals, nil
+}
+
+// meshNeighbors returns the ontology terms co-occurring with the
+// candidate within the co-occurrence window, most frequent first,
+// capped at MaxNeighbors.
+func (l *Linker) meshNeighbors(cand string) []string {
+	counts := make(map[string]int)
+	w := l.opts.CooccurWindow
+	candWords := len(strings.Fields(cand))
+	for _, occ := range l.c.Occurrences(cand) {
+		toks := l.c.Tokens(int(occ.Doc))
+		lo := int(occ.Pos) - w
+		if lo < 0 {
+			lo = 0
+		}
+		hi := int(occ.Pos) + candWords + w
+		if hi > len(toks) {
+			hi = len(toks)
+		}
+		// Slide 1..4-gram windows over the region and keep ontology
+		// matches.
+		seen := make(map[string]bool)
+		for i := lo; i < hi; i++ {
+			for n := 1; n <= 4 && i+n <= hi; n++ {
+				gram := strings.Join(toks[i:i+n], " ")
+				if gram == cand || seen[gram] {
+					continue
+				}
+				if l.o.HasTerm(gram) {
+					seen[gram] = true
+				}
+			}
+		}
+		for g := range seen {
+			counts[g]++
+		}
+	}
+	terms := make([]string, 0, len(counts))
+	for t := range counts {
+		terms = append(terms, t)
+	}
+	sort.Slice(terms, func(i, j int) bool {
+		if counts[terms[i]] != counts[terms[j]] {
+			return counts[terms[i]] > counts[terms[j]]
+		}
+		return terms[i] < terms[j]
+	})
+	if l.opts.MaxNeighbors > 0 && len(terms) > l.opts.MaxNeighbors {
+		terms = terms[:l.opts.MaxNeighbors]
+	}
+	return terms
+}
+
+// CandidateVector exposes the candidate's aggregated context vector
+// (diagnostics and the quickstart example).
+func (l *Linker) CandidateVector(candidate string) sparse.Vector {
+	return l.c.ContextVector(textutil.NormalizeTerm(candidate), l.opts.ContextWindow)
+}

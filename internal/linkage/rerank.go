@@ -1,0 +1,60 @@
+package linkage
+
+import (
+	"sort"
+
+	"bioenrich/internal/ontology"
+)
+
+// CoherenceRerank reorders position proposals by blending each
+// proposal's context cosine with its structural coherence — the mean
+// Wu–Palmer similarity between its concept and the concepts of the
+// other proposals:
+//
+//	score' = (1−λ)·cosine + λ·coherence
+//
+// The intuition: the true position of a candidate term is surrounded
+// by the other plausible positions (synonym, fathers, sons all live in
+// one region of the ontology), whereas a spurious high-cosine
+// distractor sits alone. λ = 0 returns the input order; λ ∈ [0.2, 0.4]
+// is a reasonable blend.
+func CoherenceRerank(o *ontology.Ontology, props []Proposal, lambda float64) []Proposal {
+	if lambda <= 0 || len(props) < 3 {
+		return props
+	}
+	out := make([]Proposal, len(props))
+	copy(out, props)
+	coherence := make([]float64, len(out))
+	for i, p := range out {
+		var sum float64
+		var n int
+		for j, q := range out {
+			if i == j || p.Concept == q.Concept {
+				continue
+			}
+			sum += o.WuPalmer(p.Concept, q.Concept)
+			n++
+		}
+		if n > 0 {
+			coherence[i] = sum / float64(n)
+		}
+	}
+	type scored struct {
+		p Proposal
+		s float64
+	}
+	ss := make([]scored, len(out))
+	for i, p := range out {
+		ss[i] = scored{p: p, s: (1-lambda)*p.Cosine + lambda*coherence[i]}
+	}
+	sort.SliceStable(ss, func(i, j int) bool {
+		if ss[i].s != ss[j].s {
+			return ss[i].s > ss[j].s
+		}
+		return ss[i].p.Where < ss[j].p.Where
+	})
+	for i := range ss {
+		out[i] = ss[i].p
+	}
+	return out
+}

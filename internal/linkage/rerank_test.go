@@ -1,0 +1,75 @@
+package linkage
+
+import (
+	"testing"
+
+	"bioenrich/internal/ontology"
+)
+
+// rerankOntology: a tight family (f, f1, f2 under one parent) plus a
+// distant lone concept.
+func rerankOntology(t *testing.T) *ontology.Ontology {
+	t.Helper()
+	o := ontology.New("rr")
+	for _, p := range []struct {
+		id   ontology.ConceptID
+		pref string
+	}{
+		{"root", "root"}, {"fam", "family"}, {"f1", "child one"},
+		{"f2", "child two"}, {"lone", "distant concept"},
+		{"loneroot", "other root"},
+	} {
+		if _, err := o.AddConcept(p.id, p.pref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range [][2]ontology.ConceptID{
+		{"fam", "root"}, {"f1", "fam"}, {"f2", "fam"}, {"lone", "loneroot"},
+	} {
+		if err := o.SetParent(l[0], l[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return o
+}
+
+func TestCoherenceRerankDemotesLoner(t *testing.T) {
+	o := rerankOntology(t)
+	props := []Proposal{
+		{Where: "distant concept", Concept: "lone", Cosine: 0.50},
+		{Where: "family", Concept: "fam", Cosine: 0.48},
+		{Where: "child one", Concept: "f1", Cosine: 0.47},
+		{Where: "child two", Concept: "f2", Cosine: 0.46},
+	}
+	reranked := CoherenceRerank(o, props, 0.4)
+	if reranked[0].Concept == "lone" {
+		t.Errorf("lone distractor still first: %v", reranked)
+	}
+	// All proposals preserved.
+	if len(reranked) != len(props) {
+		t.Fatal("proposals lost")
+	}
+}
+
+func TestCoherenceRerankLambdaZero(t *testing.T) {
+	o := rerankOntology(t)
+	props := []Proposal{
+		{Where: "a", Concept: "lone", Cosine: 0.9},
+		{Where: "b", Concept: "fam", Cosine: 0.1},
+		{Where: "c", Concept: "f1", Cosine: 0.05},
+	}
+	got := CoherenceRerank(o, props, 0)
+	for i := range props {
+		if got[i].Where != props[i].Where {
+			t.Fatal("lambda=0 changed the order")
+		}
+	}
+}
+
+func TestCoherenceRerankTiny(t *testing.T) {
+	o := rerankOntology(t)
+	props := []Proposal{{Where: "a", Concept: "f1", Cosine: 1}}
+	if got := CoherenceRerank(o, props, 0.5); len(got) != 1 {
+		t.Fatal("tiny input mangled")
+	}
+}

@@ -1,0 +1,155 @@
+package ml
+
+import (
+	"math"
+	"sort"
+)
+
+// AdaBoost is the classic discrete AdaBoost over decision stumps
+// (axis-aligned threshold classifiers), completing the classifier
+// panel with a boosting method.
+type AdaBoost struct {
+	Rounds int // default 50
+
+	stumps []stump
+	alphas []float64
+}
+
+// stump is a one-split weak learner: predict positive iff
+// (x[feature] <= threshold) == lessIsPositive.
+type stump struct {
+	feature        int
+	threshold      float64
+	lessIsPositive bool
+}
+
+func (s stump) predict(x []float64) bool {
+	v := math.Inf(-1)
+	if s.feature < len(x) {
+		v = x[s.feature]
+	}
+	return (v <= s.threshold) == s.lessIsPositive
+}
+
+// NewAdaBoost returns a booster with 50 rounds.
+func NewAdaBoost() *AdaBoost { return &AdaBoost{Rounds: 50} }
+
+// Name implements Classifier.
+func (m *AdaBoost) Name() string { return "adaboost" }
+
+// Fit implements Classifier.
+func (m *AdaBoost) Fit(X [][]float64, y []bool) error {
+	if err := validate(X, y); err != nil {
+		return err
+	}
+	n, d := len(X), len(X[0])
+	// Degenerate single-class data: a constant classifier.
+	allSame := true
+	for i := 1; i < n; i++ {
+		if y[i] != y[0] {
+			allSame = false
+			break
+		}
+	}
+	if allSame {
+		m.stumps = []stump{{feature: 0, threshold: math.Inf(1), lessIsPositive: y[0]}}
+		m.alphas = []float64{1}
+		return nil
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / float64(n)
+	}
+	// Pre-sort candidate thresholds per feature.
+	thresholds := make([][]float64, d)
+	for f := 0; f < d; f++ {
+		vals := make([]float64, n)
+		for i := range X {
+			vals[i] = X[i][f]
+		}
+		sort.Float64s(vals)
+		uniq := vals[:0]
+		for i, v := range vals {
+			if i == 0 || v != vals[i-1] {
+				uniq = append(uniq, v)
+			}
+		}
+		ts := make([]float64, 0, len(uniq))
+		for i := 1; i < len(uniq); i++ {
+			ts = append(ts, (uniq[i-1]+uniq[i])/2)
+		}
+		thresholds[f] = ts
+	}
+	m.stumps = m.stumps[:0]
+	m.alphas = m.alphas[:0]
+	for round := 0; round < m.Rounds; round++ {
+		best := stump{}
+		bestErr := math.Inf(1)
+		for f := 0; f < d; f++ {
+			for _, th := range thresholds[f] {
+				for _, lip := range []bool{true, false} {
+					s := stump{feature: f, threshold: th, lessIsPositive: lip}
+					var errW float64
+					for i := range X {
+						if s.predict(X[i]) != y[i] {
+							errW += w[i]
+						}
+					}
+					if errW < bestErr {
+						bestErr, best = errW, s
+					}
+				}
+			}
+		}
+		if bestErr >= 0.5 || math.IsInf(bestErr, 1) {
+			break // no weak learner better than chance
+		}
+		const eps = 1e-10
+		alpha := 0.5 * math.Log((1-bestErr+eps)/(bestErr+eps))
+		m.stumps = append(m.stumps, best)
+		m.alphas = append(m.alphas, alpha)
+		// Reweight and renormalize.
+		var sum float64
+		for i := range w {
+			sign := -1.0
+			if best.predict(X[i]) != y[i] {
+				sign = 1.0
+			}
+			w[i] *= math.Exp(alpha * sign)
+			sum += w[i]
+		}
+		for i := range w {
+			w[i] /= sum
+		}
+		if bestErr < eps {
+			break // perfect stump; further rounds are redundant
+		}
+	}
+	if len(m.stumps) == 0 {
+		// Degenerate data (e.g. single class): fall back to a constant
+		// majority stump so Predict still works.
+		pos := 0
+		for _, v := range y {
+			if v {
+				pos++
+			}
+		}
+		m.stumps = append(m.stumps, stump{feature: 0,
+			threshold: math.Inf(1), lessIsPositive: pos*2 >= len(y)})
+		m.alphas = append(m.alphas, 1)
+	}
+	return nil
+}
+
+// Predict implements Classifier (sign of the weighted stump vote).
+func (m *AdaBoost) Predict(x []float64) bool {
+	var score float64
+	for i, s := range m.stumps {
+		if s.predict(x) {
+			score += m.alphas[i]
+		} else {
+			score -= m.alphas[i]
+		}
+	}
+	return score > 0
+}

@@ -1,0 +1,64 @@
+package ml
+
+import "testing"
+
+func TestAdaBoostSeparable(t *testing.T) {
+	X, y := gaussianBlobs(150, 4, 3, 11)
+	m := NewAdaBoost()
+	acc := trainAccuracy(t, m, X, y)
+	if acc < 0.95 {
+		t.Errorf("adaboost accuracy = %.3f on separable data", acc)
+	}
+}
+
+func TestAdaBoostInterval(t *testing.T) {
+	// The positive class is an interval of one feature — impossible
+	// for a single stump, representable by a boosted pair. (XOR, by
+	// contrast, is NOT representable by any sum of univariate stumps,
+	// so it is not a fair test for this learner.)
+	X := make([][]float64, 200)
+	y := make([]bool, 200)
+	for i := range X {
+		v := float64(i)/100 - 1 // [-1, 1)
+		X[i] = []float64{v, float64(i % 3)}
+		y[i] = v >= -0.5 && v <= 0.5
+	}
+	m := NewAdaBoost()
+	acc := trainAccuracy(t, m, X, y)
+	if acc < 0.95 {
+		t.Errorf("adaboost interval accuracy = %.3f", acc)
+	}
+}
+
+func TestAdaBoostSingleClass(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}}
+	y := []bool{true, true, true}
+	m := NewAdaBoost()
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Predict([]float64{99}) {
+		t.Error("single-class boost predicted the absent class")
+	}
+}
+
+func TestAdaBoostValidation(t *testing.T) {
+	m := NewAdaBoost()
+	if err := m.Fit(nil, nil); err == nil {
+		t.Error("empty training accepted")
+	}
+	if err := m.Fit([][]float64{{1}}, []bool{true, false}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestAdaBoostInPanel(t *testing.T) {
+	panel := StandardPanel()
+	factory, ok := panel["adaboost"]
+	if !ok {
+		t.Fatal("adaboost missing from panel")
+	}
+	if factory().Name() != "adaboost" {
+		t.Error("wrong name")
+	}
+}

@@ -1,0 +1,48 @@
+package ml
+
+import (
+	"fmt"
+
+	"bioenrich/internal/eval"
+)
+
+// CrossValidate runs k-fold cross-validation of a classifier factory
+// (a fresh classifier per fold) and returns the pooled confusion
+// matrix.
+func CrossValidate(newClf func() Classifier, X [][]float64, y []bool, k int, seed int64) (eval.Confusion, error) {
+	var conf eval.Confusion
+	if len(X) != len(y) {
+		return conf, fmt.Errorf("ml: %d rows but %d labels", len(X), len(y))
+	}
+	folds := eval.Folds(len(X), k, seed)
+	for f := range folds {
+		train, test := eval.TrainTest(folds, f)
+		tx := make([][]float64, len(train))
+		ty := make([]bool, len(train))
+		for i, idx := range train {
+			tx[i], ty[i] = X[idx], y[idx]
+		}
+		clf := newClf()
+		if err := clf.Fit(tx, ty); err != nil {
+			return conf, fmt.Errorf("ml: fold %d: %w", f, err)
+		}
+		for _, idx := range test {
+			conf.Add(clf.Predict(X[idx]), y[idx])
+		}
+	}
+	return conf, nil
+}
+
+// StandardPanel returns factories for the full classifier panel used
+// in the step II experiment.
+func StandardPanel() map[string]func() Classifier {
+	return map[string]func() Classifier{
+		"logistic-regression": func() Classifier { return NewLogisticRegression() },
+		"gaussian-nb":         func() Classifier { return NewGaussianNB() },
+		"decision-tree":       func() Classifier { return NewDecisionTree() },
+		"random-forest":       func() Classifier { return NewRandomForest() },
+		"knn":                 func() Classifier { return NewKNN() },
+		"perceptron":          func() Classifier { return NewPerceptron() },
+		"adaboost":            func() Classifier { return NewAdaBoost() },
+	}
+}

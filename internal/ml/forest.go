@@ -1,0 +1,71 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandomForest is a bagged ensemble of CART trees with per-split
+// feature subsampling (√d features per split).
+type RandomForest struct {
+	Trees       int // default 50
+	MaxDepth    int // default 10
+	MinLeafSize int // default 1
+	Seed        int64
+
+	forest []*DecisionTree
+}
+
+// NewRandomForest returns a forest with sensible defaults.
+func NewRandomForest() *RandomForest {
+	return &RandomForest{Trees: 50, MaxDepth: 10, MinLeafSize: 1, Seed: 1}
+}
+
+// Name implements Classifier.
+func (m *RandomForest) Name() string { return "random-forest" }
+
+// Fit implements Classifier.
+func (m *RandomForest) Fit(X [][]float64, y []bool) error {
+	if err := validate(X, y); err != nil {
+		return err
+	}
+	n, d := len(X), len(X[0])
+	subset := int(math.Sqrt(float64(d)))
+	if subset < 1 {
+		subset = 1
+	}
+	r := rand.New(rand.NewSource(m.Seed))
+	m.forest = make([]*DecisionTree, m.Trees)
+	for t := 0; t < m.Trees; t++ {
+		// Bootstrap sample.
+		bx := make([][]float64, n)
+		by := make([]bool, n)
+		for i := 0; i < n; i++ {
+			j := r.Intn(n)
+			bx[i] = X[j]
+			by[i] = y[j]
+		}
+		tree := &DecisionTree{
+			MaxDepth:      m.MaxDepth,
+			MinLeafSize:   m.MinLeafSize,
+			FeatureSubset: subset,
+			Seed:          m.Seed + int64(t)*7919,
+		}
+		if err := tree.Fit(bx, by); err != nil {
+			return err
+		}
+		m.forest[t] = tree
+	}
+	return nil
+}
+
+// Predict implements Classifier (majority vote).
+func (m *RandomForest) Predict(x []float64) bool {
+	votes := 0
+	for _, t := range m.forest {
+		if t.Predict(x) {
+			votes++
+		}
+	}
+	return votes*2 >= len(m.forest)
+}

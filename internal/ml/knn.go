@@ -1,0 +1,67 @@
+package ml
+
+import (
+	"math"
+	"sort"
+)
+
+// KNN is a k-nearest-neighbors classifier with standardized Euclidean
+// distance.
+type KNN struct {
+	K int // default 5
+
+	x      [][]float64
+	y      []bool
+	scaler *Scaler
+}
+
+// NewKNN returns a classifier with k=5.
+func NewKNN() *KNN { return &KNN{K: 5} }
+
+// Name implements Classifier.
+func (m *KNN) Name() string { return "knn" }
+
+// Fit implements Classifier (stores standardized training data).
+func (m *KNN) Fit(X [][]float64, y []bool) error {
+	if err := validate(X, y); err != nil {
+		return err
+	}
+	m.scaler = FitScaler(X)
+	m.x = m.scaler.Transform(X)
+	m.y = append([]bool(nil), y...)
+	return nil
+}
+
+// Predict implements Classifier.
+func (m *KNN) Predict(x []float64) bool {
+	q := m.scaler.TransformRow(x)
+	type nd struct {
+		dist float64
+		pos  bool
+	}
+	ds := make([]nd, len(m.x))
+	for i, row := range m.x {
+		var d float64
+		for j := range row {
+			var qv float64
+			if j < len(q) {
+				qv = q[j]
+			}
+			dv := row[j] - qv
+			d += dv * dv
+		}
+		ds[i] = nd{dist: math.Sqrt(d), pos: m.y[i]}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].dist < ds[j].dist })
+	k := m.K
+	if k > len(ds) {
+		k = len(ds)
+	}
+	votes := 0
+	for i := 0; i < k; i++ {
+		if ds[i].pos {
+			votes++
+		}
+	}
+	return votes*2 >= k
+}

@@ -1,0 +1,93 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// LogisticRegression is an L2-regularized logistic regression trained
+// with mini-batch-free SGD over shuffled epochs.
+type LogisticRegression struct {
+	LearningRate float64 // default 0.1
+	Epochs       int     // default 200
+	L2           float64 // default 1e-4
+	Seed         int64
+
+	weights []float64
+	bias    float64
+	scaler  *Scaler
+}
+
+// NewLogisticRegression returns a classifier with sensible defaults.
+func NewLogisticRegression() *LogisticRegression {
+	return &LogisticRegression{LearningRate: 0.1, Epochs: 200, L2: 1e-4, Seed: 1}
+}
+
+// Name implements Classifier.
+func (m *LogisticRegression) Name() string { return "logistic-regression" }
+
+func sigmoid(z float64) float64 {
+	if z < -35 {
+		return 0
+	}
+	if z > 35 {
+		return 1
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// Fit implements Classifier.
+func (m *LogisticRegression) Fit(X [][]float64, y []bool) error {
+	if err := validate(X, y); err != nil {
+		return err
+	}
+	m.scaler = FitScaler(X)
+	xs := m.scaler.Transform(X)
+	d := len(xs[0])
+	m.weights = make([]float64, d)
+	m.bias = 0
+	r := rand.New(rand.NewSource(m.Seed))
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	lr := m.LearningRate
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		r.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for _, i := range idx {
+			z := m.bias
+			for j, w := range m.weights {
+				z += w * xs[i][j]
+			}
+			target := 0.0
+			if y[i] {
+				target = 1
+			}
+			err := sigmoid(z) - target
+			for j := range m.weights {
+				m.weights[j] -= lr * (err*xs[i][j] + m.L2*m.weights[j])
+			}
+			m.bias -= lr * err
+		}
+		// Simple inverse-time decay keeps late epochs stable.
+		lr = m.LearningRate / (1 + 0.01*float64(epoch))
+	}
+	return nil
+}
+
+// Score returns the predicted probability of the positive class.
+func (m *LogisticRegression) Score(x []float64) float64 {
+	xs := m.scaler.TransformRow(x)
+	z := m.bias
+	for j, w := range m.weights {
+		if j < len(xs) {
+			z += w * xs[j]
+		}
+	}
+	return sigmoid(z)
+}
+
+// Predict implements Classifier.
+func (m *LogisticRegression) Predict(x []float64) bool {
+	return m.Score(x) >= 0.5
+}

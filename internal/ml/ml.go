@@ -1,0 +1,109 @@
+// Package ml implements the from-scratch machine-learning substrate
+// for step II (polysemy detection): binary classifiers (logistic
+// regression, Gaussian naive Bayes, CART decision tree, random forest,
+// k-NN, perceptron), feature standardization and cross-validation. The
+// paper reports trying "several machine learning algorithms" over its
+// 23 features; this package provides that panel.
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// Classifier is a trainable binary classifier over dense feature
+// vectors.
+type Classifier interface {
+	// Fit trains on X (rows = samples) with labels y. Implementations
+	// must not retain the caller's slices.
+	Fit(X [][]float64, y []bool) error
+	// Predict classifies one sample.
+	Predict(x []float64) bool
+	// Name identifies the algorithm for reports.
+	Name() string
+}
+
+// Scaler standardizes features to zero mean and unit variance
+// (constant features are left centered only).
+type Scaler struct {
+	Mean, Std []float64
+}
+
+// FitScaler learns per-feature statistics.
+func FitScaler(X [][]float64) *Scaler {
+	if len(X) == 0 {
+		return &Scaler{}
+	}
+	d := len(X[0])
+	s := &Scaler{Mean: make([]float64, d), Std: make([]float64, d)}
+	for _, row := range X {
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	n := float64(len(X))
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, row := range X {
+		for j, v := range row {
+			dv := v - s.Mean[j]
+			s.Std[j] += dv * dv
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / n)
+		if s.Std[j] < 1e-12 {
+			s.Std[j] = 1 // constant feature: center only
+		}
+	}
+	return s
+}
+
+// Transform returns standardized copies of the rows.
+func (s *Scaler) Transform(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		out[i] = s.TransformRow(row)
+	}
+	return out
+}
+
+// TransformRow standardizes a single row (copy).
+func (s *Scaler) TransformRow(row []float64) []float64 {
+	out := make([]float64, len(row))
+	for j, v := range row {
+		if j < len(s.Mean) {
+			out[j] = (v - s.Mean[j]) / s.Std[j]
+		} else {
+			out[j] = v
+		}
+	}
+	return out
+}
+
+// validate checks the common Fit preconditions.
+func validate(X [][]float64, y []bool) error {
+	if len(X) == 0 {
+		return fmt.Errorf("ml: empty training set")
+	}
+	if len(X) != len(y) {
+		return fmt.Errorf("ml: %d rows but %d labels", len(X), len(y))
+	}
+	d := len(X[0])
+	for i, row := range X {
+		if len(row) != d {
+			return fmt.Errorf("ml: row %d has %d features, want %d", i, len(row), d)
+		}
+	}
+	return nil
+}
+
+// copyMatrix deep-copies a feature matrix.
+func copyMatrix(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		out[i] = append([]float64(nil), row...)
+	}
+	return out
+}

@@ -1,0 +1,259 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// gaussianBlobs builds a linearly separable (margin-controlled) binary
+// dataset: class 0 around (0,0,...), class 1 around (sep,sep,...).
+func gaussianBlobs(n, d int, sep float64, seed int64) ([][]float64, []bool) {
+	r := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]bool, n)
+	for i := range X {
+		pos := i%2 == 0
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = r.NormFloat64()
+			if pos {
+				row[j] += sep
+			}
+		}
+		X[i], y[i] = row, pos
+	}
+	return X, y
+}
+
+// xorData is not linearly separable; trees/forests/knn must solve it,
+// linear models may not.
+func xorData(n int, seed int64) ([][]float64, []bool) {
+	r := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]bool, n)
+	for i := range X {
+		a, b := r.Float64() > 0.5, r.Float64() > 0.5
+		row := []float64{bf(a) + 0.1*r.NormFloat64(), bf(b) + 0.1*r.NormFloat64()}
+		X[i] = row
+		y[i] = a != b
+	}
+	return X, y
+}
+
+func bf(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func trainAccuracy(t *testing.T, clf Classifier, X [][]float64, y []bool) float64 {
+	t.Helper()
+	if err := clf.Fit(X, y); err != nil {
+		t.Fatalf("%s: %v", clf.Name(), err)
+	}
+	correct := 0
+	for i := range X {
+		if clf.Predict(X[i]) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(X))
+}
+
+func TestAllClassifiersOnSeparableData(t *testing.T) {
+	X, y := gaussianBlobs(200, 5, 3.0, 1)
+	for name, factory := range StandardPanel() {
+		acc := trainAccuracy(t, factory(), X, y)
+		if acc < 0.95 {
+			t.Errorf("%s train accuracy = %.3f on separable data", name, acc)
+		}
+	}
+}
+
+func TestNonlinearClassifiersOnXOR(t *testing.T) {
+	X, y := xorData(300, 2)
+	for _, factory := range []func() Classifier{
+		func() Classifier { return NewDecisionTree() },
+		func() Classifier { return NewRandomForest() },
+		func() Classifier { return NewKNN() },
+	} {
+		clf := factory()
+		acc := trainAccuracy(t, clf, X, y)
+		if acc < 0.9 {
+			t.Errorf("%s accuracy on XOR = %.3f", clf.Name(), acc)
+		}
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	for name, factory := range StandardPanel() {
+		clf := factory()
+		if err := clf.Fit(nil, nil); err == nil {
+			t.Errorf("%s accepted empty training set", name)
+		}
+		if err := clf.Fit([][]float64{{1}}, []bool{true, false}); err == nil {
+			t.Errorf("%s accepted length mismatch", name)
+		}
+		if err := clf.Fit([][]float64{{1, 2}, {1}}, []bool{true, false}); err == nil {
+			t.Errorf("%s accepted ragged rows", name)
+		}
+	}
+}
+
+func TestScaler(t *testing.T) {
+	X := [][]float64{{1, 10, 5}, {3, 10, 7}, {5, 10, 9}}
+	s := FitScaler(X)
+	xs := s.Transform(X)
+	// Column 0: mean 3 std sqrt(8/3).
+	if math.Abs(xs[1][0]) > 1e-9 {
+		t.Errorf("center not zeroed: %v", xs[1][0])
+	}
+	// Constant column: centered, not scaled to NaN.
+	for i := range xs {
+		if math.IsNaN(xs[i][1]) || xs[i][1] != 0 {
+			t.Errorf("constant column mishandled: %v", xs[i][1])
+		}
+	}
+	// Mean ≈ 0, variance ≈ 1 for non-constant columns.
+	var mean, varsum float64
+	for i := range xs {
+		mean += xs[i][2]
+	}
+	mean /= 3
+	for i := range xs {
+		varsum += (xs[i][2] - mean) * (xs[i][2] - mean)
+	}
+	if math.Abs(mean) > 1e-9 || math.Abs(varsum/3-1) > 1e-9 {
+		t.Errorf("standardization wrong: mean=%v var=%v", mean, varsum/3)
+	}
+}
+
+func TestScalerEmpty(t *testing.T) {
+	s := FitScaler(nil)
+	if got := s.TransformRow([]float64{1, 2}); len(got) != 2 {
+		t.Errorf("TransformRow on empty scaler = %v", got)
+	}
+}
+
+func TestLogisticScoreMonotone(t *testing.T) {
+	X, y := gaussianBlobs(200, 2, 3.0, 3)
+	m := NewLogisticRegression()
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	// A point deep in the positive region scores higher than one deep
+	// in the negative region.
+	hi := m.Score([]float64{3, 3})
+	lo := m.Score([]float64{0, 0})
+	if hi <= lo {
+		t.Errorf("scores not ordered: %v <= %v", hi, lo)
+	}
+	if hi < 0 || hi > 1 || lo < 0 || lo > 1 {
+		t.Error("scores outside [0,1]")
+	}
+}
+
+func TestNaiveBayesSingleClass(t *testing.T) {
+	// All-positive training data: must predict positive, not crash.
+	X := [][]float64{{1, 2}, {1.1, 2.1}, {0.9, 1.9}}
+	y := []bool{true, true, true}
+	m := NewGaussianNB()
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Predict([]float64{1, 2}) {
+		t.Error("single-class NB predicted the absent class")
+	}
+}
+
+func TestTreeDepthLimit(t *testing.T) {
+	X, y := xorData(200, 4)
+	m := NewDecisionTree()
+	m.MaxDepth = 3
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if m.Depth() > 3 {
+		t.Errorf("depth %d exceeds limit 3", m.Depth())
+	}
+}
+
+func TestTreePureLeafShortCircuit(t *testing.T) {
+	// Pure node: tree is a single leaf regardless of depth budget.
+	X := [][]float64{{1}, {2}, {3}}
+	y := []bool{true, true, true}
+	m := NewDecisionTree()
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if m.Depth() != 0 {
+		t.Errorf("pure data grew depth %d", m.Depth())
+	}
+	if !m.Predict([]float64{9}) {
+		t.Error("pure-positive tree predicted negative")
+	}
+}
+
+func TestForestDeterministic(t *testing.T) {
+	X, y := gaussianBlobs(100, 3, 2, 5)
+	a, b := NewRandomForest(), NewRandomForest()
+	a.Trees, b.Trees = 10, 10
+	if err := a.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	probe, _ := gaussianBlobs(50, 3, 2, 6)
+	for _, p := range probe {
+		if a.Predict(p) != b.Predict(p) {
+			t.Fatal("same-seed forests disagree")
+		}
+	}
+}
+
+func TestKNNSmallK(t *testing.T) {
+	m := NewKNN()
+	m.K = 100 // larger than training set: must clamp
+	X := [][]float64{{0}, {1}}
+	y := []bool{false, true}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	m.Predict([]float64{0.5}) // no panic
+}
+
+func TestCrossValidate(t *testing.T) {
+	X, y := gaussianBlobs(120, 4, 3, 7)
+	conf, err := CrossValidate(func() Classifier { return NewLogisticRegression() }, X, y, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total := conf.TP + conf.FP + conf.TN + conf.FN; total != 120 {
+		t.Errorf("CV covered %d of 120 samples", total)
+	}
+	if conf.F1() < 0.9 {
+		t.Errorf("CV F1 = %.3f on separable data", conf.F1())
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	if _, err := CrossValidate(func() Classifier { return NewKNN() },
+		[][]float64{{1}}, []bool{true, false}, 2, 1); err == nil {
+		t.Error("mismatch accepted")
+	}
+}
+
+func TestPredictShorterRow(t *testing.T) {
+	// Predicting with fewer features than trained must not panic.
+	X, y := gaussianBlobs(60, 4, 3, 8)
+	for name, factory := range StandardPanel() {
+		clf := factory()
+		if err := clf.Fit(X, y); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		clf.Predict([]float64{1}) // must not panic
+	}
+}

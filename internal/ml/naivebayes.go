@@ -1,0 +1,94 @@
+package ml
+
+import "math"
+
+// GaussianNB is a Gaussian naive Bayes classifier: each feature is
+// modeled as a per-class normal distribution; classes combine under
+// the independence assumption.
+type GaussianNB struct {
+	// per class (0 = negative, 1 = positive)
+	mean, variance [2][]float64
+	logPrior       [2]float64
+	fitted         bool
+}
+
+// NewGaussianNB returns a classifier.
+func NewGaussianNB() *GaussianNB { return &GaussianNB{} }
+
+// Name implements Classifier.
+func (m *GaussianNB) Name() string { return "gaussian-nb" }
+
+// Fit implements Classifier.
+func (m *GaussianNB) Fit(X [][]float64, y []bool) error {
+	if err := validate(X, y); err != nil {
+		return err
+	}
+	d := len(X[0])
+	var count [2]int
+	for cls := 0; cls < 2; cls++ {
+		m.mean[cls] = make([]float64, d)
+		m.variance[cls] = make([]float64, d)
+	}
+	for i, row := range X {
+		cls := btoi(y[i])
+		count[cls]++
+		for j, v := range row {
+			m.mean[cls][j] += v
+		}
+	}
+	for cls := 0; cls < 2; cls++ {
+		if count[cls] == 0 {
+			continue
+		}
+		for j := range m.mean[cls] {
+			m.mean[cls][j] /= float64(count[cls])
+		}
+	}
+	for i, row := range X {
+		cls := btoi(y[i])
+		for j, v := range row {
+			dv := v - m.mean[cls][j]
+			m.variance[cls][j] += dv * dv
+		}
+	}
+	const eps = 1e-9
+	for cls := 0; cls < 2; cls++ {
+		if count[cls] == 0 {
+			m.logPrior[cls] = math.Inf(-1)
+			continue
+		}
+		for j := range m.variance[cls] {
+			m.variance[cls][j] = m.variance[cls][j]/float64(count[cls]) + eps
+		}
+		m.logPrior[cls] = math.Log(float64(count[cls]) / float64(len(y)))
+	}
+	m.fitted = true
+	return nil
+}
+
+// Predict implements Classifier.
+func (m *GaussianNB) Predict(x []float64) bool {
+	var logp [2]float64
+	for cls := 0; cls < 2; cls++ {
+		logp[cls] = m.logPrior[cls]
+		if math.IsInf(logp[cls], -1) {
+			continue
+		}
+		for j, v := range x {
+			if j >= len(m.mean[cls]) {
+				break
+			}
+			dv := v - m.mean[cls][j]
+			logp[cls] += -0.5*math.Log(2*math.Pi*m.variance[cls][j]) -
+				dv*dv/(2*m.variance[cls][j])
+		}
+	}
+	return logp[1] > logp[0]
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,86 @@
+package ml
+
+import "math/rand"
+
+// Perceptron is the averaged perceptron: the final weights are the
+// running average over all updates, which stabilizes the classic
+// perceptron on non-separable data.
+type Perceptron struct {
+	Epochs int // default 50
+	Seed   int64
+
+	weights []float64
+	bias    float64
+	scaler  *Scaler
+}
+
+// NewPerceptron returns a classifier with sensible defaults.
+func NewPerceptron() *Perceptron { return &Perceptron{Epochs: 50, Seed: 1} }
+
+// Name implements Classifier.
+func (m *Perceptron) Name() string { return "perceptron" }
+
+// Fit implements Classifier.
+func (m *Perceptron) Fit(X [][]float64, y []bool) error {
+	if err := validate(X, y); err != nil {
+		return err
+	}
+	m.scaler = FitScaler(X)
+	xs := m.scaler.Transform(X)
+	d := len(xs[0])
+	w := make([]float64, d)
+	var b float64
+	avgW := make([]float64, d)
+	var avgB float64
+	var updates float64
+
+	r := rand.New(rand.NewSource(m.Seed))
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		r.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for _, i := range idx {
+			z := b
+			for j, wj := range w {
+				z += wj * xs[i][j]
+			}
+			target := -1.0
+			if y[i] {
+				target = 1
+			}
+			if z*target <= 0 {
+				for j := range w {
+					w[j] += target * xs[i][j]
+				}
+				b += target
+			}
+			for j := range w {
+				avgW[j] += w[j]
+			}
+			avgB += b
+			updates++
+		}
+	}
+	if updates > 0 {
+		for j := range avgW {
+			avgW[j] /= updates
+		}
+		avgB /= updates
+	}
+	m.weights, m.bias = avgW, avgB
+	return nil
+}
+
+// Predict implements Classifier.
+func (m *Perceptron) Predict(x []float64) bool {
+	xs := m.scaler.TransformRow(x)
+	z := m.bias
+	for j, w := range m.weights {
+		if j < len(xs) {
+			z += w * xs[j]
+		}
+	}
+	return z > 0
+}

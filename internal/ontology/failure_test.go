@@ -1,0 +1,105 @@
+package ontology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Failure injection: hand-crafted ontology files that violate
+// structural invariants must be rejected at load time, not crash
+// later.
+
+func loadString(s string) (*Ontology, error) {
+	return ReadFrom(bytes.NewBufferString(s))
+}
+
+func TestLoadRejectsAsymmetricLink(t *testing.T) {
+	// B claims parent A, but A does not list B as child.
+	const file = `{"format":"bioenrich-ontology-v1","name":"bad","concepts":[
+		{"id":"A","preferred":"a term","synonyms":null,"parents":null,"children":null},
+		{"id":"B","preferred":"b term","synonyms":null,"parents":["A"],"children":null}
+	]}`
+	if _, err := loadString(file); err == nil {
+		t.Fatal("asymmetric link accepted")
+	} else if !strings.Contains(err.Error(), "asymmetric") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestLoadRejectsCycle(t *testing.T) {
+	const file = `{"format":"bioenrich-ontology-v1","name":"bad","concepts":[
+		{"id":"A","preferred":"a term","synonyms":null,"parents":["B"],"children":["B"]},
+		{"id":"B","preferred":"b term","synonyms":null,"parents":["A"],"children":["A"]}
+	]}`
+	if _, err := loadString(file); err == nil {
+		t.Fatal("cycle accepted")
+	} else if !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestLoadRejectsDanglingReference(t *testing.T) {
+	const file = `{"format":"bioenrich-ontology-v1","name":"bad","concepts":[
+		{"id":"A","preferred":"a term","synonyms":null,"parents":["GHOST"],"children":null}
+	]}`
+	if _, err := loadString(file); err == nil {
+		t.Fatal("dangling parent accepted")
+	}
+}
+
+func TestLoadRejectsTruncatedJSON(t *testing.T) {
+	const file = `{"format":"bioenrich-ontology-v1","name":"bad","concepts":[{"id":"A"`
+	if _, err := loadString(file); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+}
+
+func TestLoadAcceptsValidRoundTrip(t *testing.T) {
+	o := eyeOntology(t)
+	var buf bytes.Buffer
+	if err := o.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrom(&buf); err != nil {
+		t.Fatalf("valid file rejected: %v", err)
+	}
+}
+
+func TestRemoveTermVariants(t *testing.T) {
+	o := eyeOntology(t)
+	// Removing a synonym keeps the concept.
+	o.RemoveTerm("corneal damage")
+	if o.Concept("D4") == nil {
+		t.Fatal("concept removed with its synonym")
+	}
+	if o.HasTerm("corneal damage") {
+		t.Error("synonym still present")
+	}
+	// Removing the preferred term promotes a synonym.
+	o.RemoveTerm("corneal injuries")
+	c := o.Concept("D4")
+	if c == nil {
+		t.Fatal("concept removed though synonyms remained")
+	}
+	if c.Preferred == "corneal injuries" {
+		t.Error("preferred not replaced")
+	}
+	if err := o.Validate(); err != nil {
+		t.Errorf("invalid after removals: %v", err)
+	}
+	// Removing the last term of a concept removes the concept.
+	o.RemoveTerm("corneal ulcer")
+	if o.Concept("D5") != nil {
+		t.Error("term-less concept survived")
+	}
+	if err := o.Validate(); err != nil {
+		t.Errorf("invalid after concept removal: %v", err)
+	}
+	// Removing an absent term is a no-op.
+	before := o.NumTerms()
+	o.RemoveTerm("never existed")
+	if o.NumTerms() != before {
+		t.Error("no-op removal changed the ontology")
+	}
+}

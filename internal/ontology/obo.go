@@ -1,0 +1,134 @@
+package ontology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Minimal OBO 1.2 interchange: the de-facto flat format of the
+// bio-ontology world (Gene Ontology, HPO, ...). Supported tags:
+// [Term] stanzas with id, name, synonym, is_a. Everything else is
+// ignored on read and never produced on write.
+
+// WriteOBO serializes the ontology as OBO [Term] stanzas in id order.
+func (o *Ontology) WriteOBO(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "format-version: 1.2\nontology: %s\n", o.Name)
+	for _, id := range o.ConceptIDs() {
+		c := o.concepts[id]
+		fmt.Fprintf(bw, "\n[Term]\nid: %s\nname: %s\n", id, c.Preferred)
+		syns := append([]string(nil), c.Synonyms...)
+		sort.Strings(syns)
+		for _, s := range syns {
+			fmt.Fprintf(bw, "synonym: %q EXACT []\n", s)
+		}
+		parents := append([]ConceptID(nil), c.Parents...)
+		sort.Slice(parents, func(i, j int) bool { return parents[i] < parents[j] })
+		for _, p := range parents {
+			fmt.Fprintf(bw, "is_a: %s ! %s\n", p, o.concepts[p].Preferred)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("ontology: write obo: %w", err)
+	}
+	return nil
+}
+
+// ReadOBO parses an OBO stream produced by WriteOBO (or any OBO file
+// limited to id/name/synonym/is_a tags), rebuilding the ontology and
+// validating it.
+func ReadOBO(r io.Reader) (*Ontology, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+
+	type stanza struct {
+		id       ConceptID
+		name     string
+		synonyms []string
+		parents  []ConceptID
+	}
+	var stanzas []stanza
+	var cur *stanza
+	name := "obo"
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "[Term]":
+			stanzas = append(stanzas, stanza{})
+			cur = &stanzas[len(stanzas)-1]
+		case strings.HasPrefix(line, "[") && line != "[Term]":
+			cur = nil // unsupported stanza type: skip its tags
+		case line == "" || strings.HasPrefix(line, "!"):
+			// blank or comment
+		case strings.HasPrefix(line, "ontology:"):
+			name = strings.TrimSpace(strings.TrimPrefix(line, "ontology:"))
+		case cur == nil:
+			// header tag or tag of a skipped stanza
+		case strings.HasPrefix(line, "id:"):
+			cur.id = ConceptID(strings.TrimSpace(strings.TrimPrefix(line, "id:")))
+		case strings.HasPrefix(line, "name:"):
+			cur.name = strings.TrimSpace(strings.TrimPrefix(line, "name:"))
+		case strings.HasPrefix(line, "synonym:"):
+			body := strings.TrimSpace(strings.TrimPrefix(line, "synonym:"))
+			syn, err := unquoteOBO(body)
+			if err != nil {
+				return nil, fmt.Errorf("ontology: obo line %d: %w", lineNo, err)
+			}
+			cur.synonyms = append(cur.synonyms, syn)
+		case strings.HasPrefix(line, "is_a:"):
+			body := strings.TrimSpace(strings.TrimPrefix(line, "is_a:"))
+			if i := strings.IndexByte(body, '!'); i >= 0 {
+				body = strings.TrimSpace(body[:i])
+			}
+			cur.parents = append(cur.parents, ConceptID(body))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ontology: read obo: %w", err)
+	}
+
+	o := New(name)
+	for _, s := range stanzas {
+		if s.id == "" || s.name == "" {
+			return nil, fmt.Errorf("ontology: obo term missing id or name (id=%q name=%q)", s.id, s.name)
+		}
+		if _, err := o.AddConcept(s.id, s.name); err != nil {
+			return nil, fmt.Errorf("ontology: obo: %w", err)
+		}
+		for _, syn := range s.synonyms {
+			if err := o.AddSynonym(s.id, syn); err != nil {
+				return nil, fmt.Errorf("ontology: obo: %w", err)
+			}
+		}
+	}
+	// Link after all terms exist (OBO order is arbitrary).
+	for _, s := range stanzas {
+		for _, p := range s.parents {
+			if err := o.SetParent(s.id, p); err != nil {
+				return nil, fmt.Errorf("ontology: obo link %s is_a %s: %w", s.id, p, err)
+			}
+		}
+	}
+	if err := o.Validate(); err != nil {
+		return nil, fmt.Errorf("ontology: obo invalid: %w", err)
+	}
+	return o, nil
+}
+
+// unquoteOBO extracts the quoted synonym text from a synonym tag body
+// like `"corneal injury" EXACT []`.
+func unquoteOBO(body string) (string, error) {
+	if len(body) == 0 || body[0] != '"' {
+		return "", fmt.Errorf("malformed synonym %q", body)
+	}
+	end := strings.IndexByte(body[1:], '"')
+	if end < 0 {
+		return "", fmt.Errorf("unterminated synonym %q", body)
+	}
+	return body[1 : 1+end], nil
+}

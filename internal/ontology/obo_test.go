@@ -1,0 +1,91 @@
+package ontology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestOBORoundTrip(t *testing.T) {
+	o := eyeOntology(t)
+	var buf bytes.Buffer
+	if err := o.WriteOBO(&buf); err != nil {
+		t.Fatal(err)
+	}
+	txt := buf.String()
+	for _, want := range []string{
+		"format-version: 1.2", "[Term]", "id: D4",
+		"name: corneal injuries", `synonym: "corneal damage" EXACT []`,
+		"is_a: D2 ! corneal diseases",
+	} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("OBO output missing %q", want)
+		}
+	}
+	o2, err := ReadOBO(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2.NumConcepts() != o.NumConcepts() || o2.NumTerms() != o.NumTerms() {
+		t.Errorf("round trip: %d/%d concepts, %d/%d terms",
+			o2.NumConcepts(), o.NumConcepts(), o2.NumTerms(), o.NumTerms())
+	}
+	if got := o2.ConceptsForTerm("corneal trauma"); len(got) != 1 || got[0] != "D4" {
+		t.Errorf("synonym lost: %v", got)
+	}
+	if len(o2.Concept("D4").Parents) != 2 {
+		t.Errorf("parents lost: %v", o2.Concept("D4").Parents)
+	}
+}
+
+func TestReadOBOForeignFile(t *testing.T) {
+	// An OBO file with tags and stanza types we don't support.
+	const obo = `format-version: 1.2
+ontology: go-fragment
+date: 01:01:2016
+
+[Term]
+id: GO:0001
+name: biological process
+def: "ignored definition" []
+namespace: biological_process
+
+[Term]
+id: GO:0002
+name: cell division
+synonym: "cytokinesis" EXACT []
+is_a: GO:0001 ! biological process
+xref: Wikipedia:Cell_division
+
+[Typedef]
+id: part_of
+name: part of
+`
+	o, err := ReadOBO(strings.NewReader(obo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Name != "go-fragment" || o.NumConcepts() != 2 {
+		t.Errorf("parsed %s with %d concepts", o.Name, o.NumConcepts())
+	}
+	if !o.HasTerm("cytokinesis") {
+		t.Error("synonym not parsed")
+	}
+	if got := o.Concept("GO:0002").Parents; len(got) != 1 || got[0] != "GO:0001" {
+		t.Errorf("is_a not parsed: %v", got)
+	}
+}
+
+func TestReadOBOErrors(t *testing.T) {
+	cases := []string{
+		"[Term]\nid: A\n",       // missing name
+		"[Term]\nname: no id\n", // missing id
+		"[Term]\nid: A\nname: a\nsynonym: noquote EXACT []\n", // malformed synonym
+		"[Term]\nid: A\nname: a\nis_a: GHOST\n",               // dangling parent
+	}
+	for _, c := range cases {
+		if _, err := ReadOBO(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted invalid OBO: %q", c)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package ontology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// ontologyFile is the serialized envelope.
+type ontologyFile struct {
+	Format   string     `json:"format"`
+	Name     string     `json:"name"`
+	Concepts []*Concept `json:"concepts"`
+}
+
+const formatName = "bioenrich-ontology-v1"
+
+// Write serializes the ontology as JSON with concepts in id order.
+func (o *Ontology) Write(w io.Writer) error {
+	f := ontologyFile{Format: formatName, Name: o.Name}
+	for _, id := range o.ConceptIDs() {
+		f.Concepts = append(f.Concepts, o.concepts[id])
+	}
+	if err := json.NewEncoder(w).Encode(&f); err != nil {
+		return fmt.Errorf("ontology: encode: %w", err)
+	}
+	return nil
+}
+
+// Save writes the ontology to a file.
+func (o *Ontology) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("ontology: save: %w", err)
+	}
+	defer f.Close()
+	if err := o.Write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFrom deserializes an ontology written by Write, rebuilding the
+// term index, and validates it.
+func ReadFrom(r io.Reader) (*Ontology, error) {
+	var f ontologyFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("ontology: decode: %w", err)
+	}
+	if f.Format != formatName {
+		return nil, fmt.Errorf("ontology: unknown format %q", f.Format)
+	}
+	o := New(f.Name)
+	for _, c := range f.Concepts {
+		cc := *c // copy; don't alias decoder memory across concepts
+		o.concepts[c.ID] = &cc
+		for _, t := range cc.Terms() {
+			o.indexTerm(t, cc.ID)
+		}
+	}
+	if err := o.Validate(); err != nil {
+		return nil, fmt.Errorf("ontology: loaded file invalid: %w", err)
+	}
+	return o, nil
+}
+
+// Load reads an ontology file written by Save.
+func Load(path string) (*Ontology, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ontology: load: %w", err)
+	}
+	defer f.Close()
+	return ReadFrom(f)
+}
+
+// Clone returns a deep copy of the ontology.
+func (o *Ontology) Clone() *Ontology {
+	out := New(o.Name)
+	for id, c := range o.concepts {
+		cc := &Concept{
+			ID:        c.ID,
+			Preferred: c.Preferred,
+			Synonyms:  append([]string(nil), c.Synonyms...),
+			Parents:   append([]ConceptID(nil), c.Parents...),
+			Children:  append([]ConceptID(nil), c.Children...),
+			TreeNums:  append([]string(nil), c.TreeNums...),
+		}
+		out.concepts[id] = cc
+	}
+	for t, ids := range o.byTerm {
+		cp := append([]ConceptID(nil), ids...)
+		sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+		out.byTerm[t] = cp
+	}
+	return out
+}

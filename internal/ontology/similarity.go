@@ -1,0 +1,128 @@
+package ontology
+
+// Structural semantic-similarity measures over the concept DAG. The
+// paper's linkage step ranks purely by context cosine; these measures
+// support the structure-aware re-ranking ablation (DESIGN.md) and give
+// library users the classic taxonomic similarity toolbox.
+
+// Depth returns the length of the shortest parent-path from id to any
+// root (roots have depth 0); -1 for unknown concepts.
+func (o *Ontology) Depth(id ConceptID) int {
+	if o.concepts[id] == nil {
+		return -1
+	}
+	depth := 0
+	frontier := []ConceptID{id}
+	seen := map[ConceptID]bool{id: true}
+	for len(frontier) > 0 {
+		var next []ConceptID
+		for _, cur := range frontier {
+			c := o.concepts[cur]
+			if len(c.Parents) == 0 {
+				return depth
+			}
+			for _, p := range c.Parents {
+				if !seen[p] {
+					seen[p] = true
+					next = append(next, p)
+				}
+			}
+		}
+		frontier = next
+		depth++
+	}
+	return depth // disconnected upward chain (shouldn't happen post-Validate)
+}
+
+// ancestorDepths returns every ancestor-or-self of id with its minimum
+// upward hop distance from id.
+func (o *Ontology) ancestorDepths(id ConceptID) map[ConceptID]int {
+	dist := map[ConceptID]int{}
+	if o.concepts[id] == nil {
+		return dist
+	}
+	dist[id] = 0
+	frontier := []ConceptID{id}
+	for len(frontier) > 0 {
+		var next []ConceptID
+		for _, cur := range frontier {
+			for _, p := range o.concepts[cur].Parents {
+				if _, ok := dist[p]; !ok {
+					dist[p] = dist[cur] + 1
+					next = append(next, p)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+// LCA returns a lowest common ancestor of a and b — the common
+// ancestor minimizing the sum of upward hops — and that hop sum. ok is
+// false when the concepts share no ancestor (different trees).
+func (o *Ontology) LCA(a, b ConceptID) (lca ConceptID, hops int, ok bool) {
+	da := o.ancestorDepths(a)
+	db := o.ancestorDepths(b)
+	best := -1
+	for id, ha := range da {
+		if hb, shared := db[id]; shared {
+			if best == -1 || ha+hb < best ||
+				(ha+hb == best && id < lca) { // deterministic tie-break
+				best = ha + hb
+				lca = id
+			}
+		}
+	}
+	if best == -1 {
+		return "", 0, false
+	}
+	return lca, best, true
+}
+
+// PathSimilarity returns 1 / (1 + d) where d is the shortest path
+// between a and b through their LCA; 0 when unrelated.
+func (o *Ontology) PathSimilarity(a, b ConceptID) float64 {
+	if a == b && o.concepts[a] != nil {
+		return 1
+	}
+	_, hops, ok := o.LCA(a, b)
+	if !ok {
+		return 0
+	}
+	return 1 / (1 + float64(hops))
+}
+
+// WuPalmer returns the Wu–Palmer similarity
+// 2·depth(lca) / (depth(a) + depth(b)), in (0, 1] for related concepts
+// and 0 for unrelated ones. Roots of the same tree score small but
+// positive only when the LCA is below a root; two distinct roots score
+// 0 (no common ancestor).
+func (o *Ontology) WuPalmer(a, b ConceptID) float64 {
+	if a == b && o.concepts[a] != nil {
+		return 1
+	}
+	lca, _, ok := o.LCA(a, b)
+	if !ok {
+		return 0
+	}
+	da, db, dl := o.Depth(a), o.Depth(b), o.Depth(lca)
+	if da+db == 0 {
+		return 0
+	}
+	return 2 * float64(dl) / float64(da+db)
+}
+
+// TermSimilarity returns the maximum WuPalmer similarity over the
+// concept pairs lexicalizing two terms (terms may be polysemic).
+func (o *Ontology) TermSimilarity(termA, termB string) float64 {
+	best := 0.0
+	for _, a := range o.ConceptsForTerm(termA) {
+		for _, b := range o.ConceptsForTerm(termB) {
+			if s := o.WuPalmer(a, b); s > best {
+				best = s
+			}
+		}
+	}
+	return best
+}

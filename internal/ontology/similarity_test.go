@@ -1,0 +1,123 @@
+package ontology
+
+import (
+	"math"
+	"testing"
+)
+
+// chain builds root -> a -> b -> c plus a sibling branch root -> x.
+func chain(t *testing.T) *Ontology {
+	t.Helper()
+	o := New("sim-test")
+	for _, p := range []struct {
+		id   ConceptID
+		pref string
+	}{
+		{"root", "root concept"}, {"a", "alpha"}, {"b", "beta"},
+		{"c", "gamma"}, {"x", "xi"},
+	} {
+		if _, err := o.AddConcept(p.id, p.pref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range [][2]ConceptID{{"a", "root"}, {"b", "a"}, {"c", "b"}, {"x", "root"}} {
+		if err := o.SetParent(l[0], l[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return o
+}
+
+func TestDepth(t *testing.T) {
+	o := chain(t)
+	want := map[ConceptID]int{"root": 0, "a": 1, "b": 2, "c": 3, "x": 1}
+	for id, d := range want {
+		if got := o.Depth(id); got != d {
+			t.Errorf("Depth(%s) = %d, want %d", id, got, d)
+		}
+	}
+	if o.Depth("missing") != -1 {
+		t.Error("missing concept depth != -1")
+	}
+}
+
+func TestDepthMultiParentShortest(t *testing.T) {
+	o := chain(t)
+	// c also directly under root: shortest path wins.
+	if err := o.SetParent("c", "root"); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Depth("c"); got != 1 {
+		t.Errorf("Depth(c) = %d, want 1 (shortest)", got)
+	}
+}
+
+func TestLCA(t *testing.T) {
+	o := chain(t)
+	lca, hops, ok := o.LCA("c", "x")
+	if !ok || lca != "root" {
+		t.Fatalf("LCA(c,x) = %s ok=%v", lca, ok)
+	}
+	if hops != 4 { // c->b->a->root (3) + x->root (1)
+		t.Errorf("hops = %d, want 4", hops)
+	}
+	lca, hops, ok = o.LCA("b", "c")
+	if !ok || lca != "b" || hops != 1 {
+		t.Errorf("LCA(b,c) = %s hops=%d ok=%v", lca, hops, ok)
+	}
+	// Disconnected trees.
+	o2 := New("two-trees")
+	o2.AddConcept("p", "p term")
+	o2.AddConcept("q", "q term")
+	if _, _, ok := o2.LCA("p", "q"); ok {
+		t.Error("unrelated roots report an LCA")
+	}
+}
+
+func TestPathSimilarity(t *testing.T) {
+	o := chain(t)
+	if got := o.PathSimilarity("b", "b"); got != 1 {
+		t.Errorf("self path sim = %v", got)
+	}
+	// Closer pairs score higher.
+	if o.PathSimilarity("b", "c") <= o.PathSimilarity("c", "x") {
+		t.Error("path similarity not monotone in distance")
+	}
+	o2 := New("t")
+	o2.AddConcept("p", "p term")
+	o2.AddConcept("q", "q term")
+	if got := o2.PathSimilarity("p", "q"); got != 0 {
+		t.Errorf("unrelated path sim = %v", got)
+	}
+}
+
+func TestWuPalmer(t *testing.T) {
+	o := chain(t)
+	if got := o.WuPalmer("c", "c"); got != 1 {
+		t.Errorf("self WP = %v", got)
+	}
+	// WP(b,c): lca=b depth 2, depths 2 and 3 -> 4/5.
+	if got := o.WuPalmer("b", "c"); math.Abs(got-0.8) > 1e-9 {
+		t.Errorf("WP(b,c) = %v, want 0.8", got)
+	}
+	// Siblings through root: lca depth 0 -> 0.
+	if got := o.WuPalmer("a", "x"); got != 0 {
+		t.Errorf("WP(a,x) = %v, want 0 (lca is a root)", got)
+	}
+	// Symmetry.
+	if o.WuPalmer("c", "x") != o.WuPalmer("x", "c") {
+		t.Error("WP not symmetric")
+	}
+}
+
+func TestTermSimilarity(t *testing.T) {
+	o := chain(t)
+	o.AddSynonym("b", "shared term")
+	o.AddSynonym("c", "deep term")
+	if got := o.TermSimilarity("shared term", "deep term"); math.Abs(got-0.8) > 1e-9 {
+		t.Errorf("TermSimilarity = %v, want 0.8", got)
+	}
+	if got := o.TermSimilarity("missing", "deep term"); got != 0 {
+		t.Errorf("missing term similarity = %v", got)
+	}
+}

@@ -1,0 +1,95 @@
+package ontology
+
+import (
+	"sort"
+	"strings"
+)
+
+// MeSH-style tree-number navigation. A tree number like "C11.297.374"
+// encodes one position of a concept in the poly-hierarchy; a concept
+// may carry several.
+
+// ConceptsByTreePrefix returns all concepts with at least one tree
+// number equal to or descending from the prefix ("C11" matches
+// "C11", "C11.297", ...), sorted by id.
+func (o *Ontology) ConceptsByTreePrefix(prefix string) []ConceptID {
+	var out []ConceptID
+	for id, c := range o.concepts {
+		for _, tn := range c.TreeNums {
+			if tn == prefix || strings.HasPrefix(tn, prefix+".") {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TreeDepthOf returns the depth encoded by a tree number (number of
+// dot-separated components minus one): "C11" is 0, "C11.297.374" is 2.
+func TreeDepthOf(treeNum string) int {
+	if treeNum == "" {
+		return -1
+	}
+	return strings.Count(treeNum, ".")
+}
+
+// TreeParent returns the tree number one level up, or "" at a root:
+// "C11.297.374" -> "C11.297".
+func TreeParent(treeNum string) string {
+	i := strings.LastIndexByte(treeNum, '.')
+	if i < 0 {
+		return ""
+	}
+	return treeNum[:i]
+}
+
+// TreeNumbersIndex maps every tree number to its concept, for reverse
+// navigation. Concepts without tree numbers are absent.
+func (o *Ontology) TreeNumbersIndex() map[string]ConceptID {
+	out := map[string]ConceptID{}
+	for id, c := range o.concepts {
+		for _, tn := range c.TreeNums {
+			out[tn] = id
+		}
+	}
+	return out
+}
+
+// SiblingsByTree returns the concepts sharing a tree parent with any
+// of id's tree numbers (id excluded), sorted.
+func (o *Ontology) SiblingsByTree(id ConceptID) []ConceptID {
+	c := o.concepts[id]
+	if c == nil {
+		return nil
+	}
+	parents := map[string]bool{}
+	for _, tn := range c.TreeNums {
+		if p := TreeParent(tn); p != "" {
+			parents[p] = true
+		}
+	}
+	seen := map[ConceptID]bool{}
+	for p := range parents {
+		for _, sib := range o.ConceptsByTreePrefix(p) {
+			if sib == id {
+				continue
+			}
+			// Direct children of p only (depth exactly one more).
+			sc := o.concepts[sib]
+			for _, tn := range sc.TreeNums {
+				if TreeParent(tn) == p {
+					seen[sib] = true
+					break
+				}
+			}
+		}
+	}
+	out := make([]ConceptID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

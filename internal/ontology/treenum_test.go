@@ -1,0 +1,81 @@
+package ontology
+
+import "testing"
+
+func treeOntology(t *testing.T) *Ontology {
+	t.Helper()
+	o := New("tree")
+	add := func(id ConceptID, pref, tn string) {
+		t.Helper()
+		c, err := o.AddConcept(id, pref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.TreeNums = []string{tn}
+	}
+	add("R", "eye root", "C11")
+	add("A", "corneal diseases", "C11.297")
+	add("B", "retinal diseases", "C11.768")
+	add("A1", "corneal ulcer", "C11.297.374")
+	add("A2", "keratitis", "C11.297.500")
+	return o
+}
+
+func TestConceptsByTreePrefix(t *testing.T) {
+	o := treeOntology(t)
+	got := o.ConceptsByTreePrefix("C11.297")
+	if len(got) != 3 { // A, A1, A2
+		t.Fatalf("prefix C11.297 = %v", got)
+	}
+	if got := o.ConceptsByTreePrefix("C11"); len(got) != 5 {
+		t.Errorf("prefix C11 = %v", got)
+	}
+	if got := o.ConceptsByTreePrefix("C99"); len(got) != 0 {
+		t.Errorf("unknown prefix = %v", got)
+	}
+	// "C11.2" must not match "C11.297" (component boundary).
+	if got := o.ConceptsByTreePrefix("C11.2"); len(got) != 0 {
+		t.Errorf("partial component matched: %v", got)
+	}
+}
+
+func TestTreeDepthAndParent(t *testing.T) {
+	if TreeDepthOf("C11") != 0 || TreeDepthOf("C11.297.374") != 2 {
+		t.Error("TreeDepthOf wrong")
+	}
+	if TreeDepthOf("") != -1 {
+		t.Error("empty depth")
+	}
+	if TreeParent("C11.297.374") != "C11.297" || TreeParent("C11") != "" {
+		t.Error("TreeParent wrong")
+	}
+}
+
+func TestTreeNumbersIndex(t *testing.T) {
+	o := treeOntology(t)
+	idx := o.TreeNumbersIndex()
+	if idx["C11.297.374"] != "A1" || idx["C11"] != "R" {
+		t.Errorf("index = %v", idx)
+	}
+	if len(idx) != 5 {
+		t.Errorf("index size = %d", len(idx))
+	}
+}
+
+func TestSiblingsByTree(t *testing.T) {
+	o := treeOntology(t)
+	sibs := o.SiblingsByTree("A1")
+	if len(sibs) != 1 || sibs[0] != "A2" {
+		t.Errorf("siblings of A1 = %v", sibs)
+	}
+	sibs = o.SiblingsByTree("A")
+	if len(sibs) != 1 || sibs[0] != "B" {
+		t.Errorf("siblings of A = %v", sibs)
+	}
+	if got := o.SiblingsByTree("R"); len(got) != 0 {
+		t.Errorf("root siblings = %v", got)
+	}
+	if got := o.SiblingsByTree("missing"); got != nil {
+		t.Errorf("missing concept siblings = %v", got)
+	}
+}

@@ -1,0 +1,65 @@
+package polysemy
+
+import (
+	"fmt"
+	"sort"
+
+	"bioenrich/internal/corpus"
+	"bioenrich/internal/eval"
+)
+
+// BaselineDetector is the single-feature threshold baseline the
+// 23-feature classifiers are compared against: a term is predicted
+// polysemic when its context entropy (the strongest single signal)
+// exceeds a threshold fitted on training data. Quantifies how much of
+// the paper's 98% F-measure the feature machinery actually buys.
+type BaselineDetector struct {
+	threshold float64
+	fitted    bool
+}
+
+// entropyOf extracts the baseline's single feature.
+func entropyOf(f Features) float64 { return f.Direct[3] }
+
+// FitBaseline chooses the entropy threshold maximizing training F1.
+func FitBaseline(c *corpus.Corpus, polysemic, monosemic []string) (*BaselineDetector, error) {
+	feats, y := ExtractAll(c, polysemic, monosemic)
+	if len(feats) == 0 {
+		return nil, fmt.Errorf("polysemy: no training terms for the baseline")
+	}
+	vals := make([]float64, len(feats))
+	for i, f := range feats {
+		vals[i] = entropyOf(f)
+	}
+	// Candidate thresholds: midpoints of sorted distinct values.
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	bestTh, bestF1 := sorted[0]-1, -1.0
+	try := func(th float64) {
+		var conf eval.Confusion
+		for i := range vals {
+			conf.Add(vals[i] > th, y[i])
+		}
+		if f1 := conf.F1(); f1 > bestF1 {
+			bestF1, bestTh = f1, th
+		}
+	}
+	try(sorted[0] - 1)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] != sorted[i-1] {
+			try((sorted[i] + sorted[i-1]) / 2)
+		}
+	}
+	return &BaselineDetector{threshold: bestTh, fitted: true}, nil
+}
+
+// IsPolysemic classifies a term by the entropy threshold.
+func (b *BaselineDetector) IsPolysemic(c *corpus.Corpus, term string) bool {
+	if !b.fitted {
+		return false
+	}
+	return entropyOf(Extract(c, term)) > b.threshold
+}
+
+// Threshold exposes the fitted cutoff (diagnostics).
+func (b *BaselineDetector) Threshold() float64 { return b.threshold }

@@ -1,0 +1,42 @@
+package polysemy
+
+import "testing"
+
+func TestBaselineDetector(t *testing.T) {
+	set := smallSet()
+	b, err := FitBaseline(set.Corpus, set.Polysemic, set.Monosemic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	total := 0
+	for _, term := range set.Polysemic {
+		total++
+		if b.IsPolysemic(set.Corpus, term) {
+			correct++
+		}
+	}
+	for _, term := range set.Monosemic {
+		total++
+		if !b.IsPolysemic(set.Corpus, term) {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(total)
+	// The single-feature baseline is decent but need not be perfect.
+	if acc < 0.6 {
+		t.Errorf("baseline training accuracy = %.3f", acc)
+	}
+	t.Logf("baseline threshold=%.3f accuracy=%.3f", b.Threshold(), acc)
+}
+
+func TestBaselineErrors(t *testing.T) {
+	set := smallSet()
+	if _, err := FitBaseline(set.Corpus, nil, nil); err == nil {
+		t.Error("empty training accepted")
+	}
+	var unfitted BaselineDetector
+	if unfitted.IsPolysemic(set.Corpus, "anything") {
+		t.Error("unfitted baseline predicted positive")
+	}
+}

@@ -1,0 +1,113 @@
+package polysemy
+
+import (
+	"fmt"
+
+	"bioenrich/internal/corpus"
+	"bioenrich/internal/eval"
+	"bioenrich/internal/ml"
+	"bioenrich/internal/textutil"
+)
+
+func normTerm(t string) string { return textutil.NormalizeTerm(t) }
+
+// FeatureSet selects which of the 23 features a detector uses — the
+// ablation axis of the step II experiment.
+type FeatureSet int
+
+// The three feature configurations.
+const (
+	AllFeatures FeatureSet = iota // 23
+	DirectOnly                    // 11
+	GraphOnly                     // 12
+)
+
+// String names the configuration.
+func (fs FeatureSet) String() string {
+	switch fs {
+	case DirectOnly:
+		return "direct-11"
+	case GraphOnly:
+		return "graph-12"
+	}
+	return "all-23"
+}
+
+// project restricts a full feature vector to the set.
+func (fs FeatureSet) project(f Features) []float64 {
+	switch fs {
+	case DirectOnly:
+		return append([]float64(nil), f.Direct[:]...)
+	case GraphOnly:
+		return append([]float64(nil), f.Graph[:]...)
+	}
+	return f.Vector()
+}
+
+// Detector is a trained polysemy classifier.
+type Detector struct {
+	clf ml.Classifier
+	fs  FeatureSet
+}
+
+// Train fits a detector on terms with known polysemy status (from the
+// metathesaurus), reading their features from the corpus.
+func Train(c *corpus.Corpus, polysemic, monosemic []string,
+	factory func() ml.Classifier, fs FeatureSet) (*Detector, error) {
+	X, y := buildDataset(c, polysemic, monosemic, fs)
+	if len(X) == 0 {
+		return nil, fmt.Errorf("polysemy: no training terms")
+	}
+	clf := factory()
+	if err := clf.Fit(X, y); err != nil {
+		return nil, fmt.Errorf("polysemy: train: %w", err)
+	}
+	return &Detector{clf: clf, fs: fs}, nil
+}
+
+// IsPolysemic classifies a candidate term against the corpus.
+func (d *Detector) IsPolysemic(c *corpus.Corpus, term string) bool {
+	return d.clf.Predict(d.fs.project(Extract(c, term)))
+}
+
+// buildDataset extracts features for every labelled term.
+func buildDataset(c *corpus.Corpus, polysemic, monosemic []string, fs FeatureSet) ([][]float64, []bool) {
+	feats, y := ExtractAll(c, polysemic, monosemic)
+	return Project(feats, fs), y
+}
+
+// ExtractAll extracts the full 23-feature description of every
+// labelled term. Feature extraction dominates experiment cost, so
+// callers sweeping classifiers or feature subsets should extract once
+// and Project per configuration.
+func ExtractAll(c *corpus.Corpus, polysemic, monosemic []string) ([]Features, []bool) {
+	feats := make([]Features, 0, len(polysemic)+len(monosemic))
+	y := make([]bool, 0, cap(feats))
+	for _, term := range polysemic {
+		feats = append(feats, Extract(c, term))
+		y = append(y, true)
+	}
+	for _, term := range monosemic {
+		feats = append(feats, Extract(c, term))
+		y = append(y, false)
+	}
+	return feats, y
+}
+
+// Project restricts extracted features to a feature set.
+func Project(feats []Features, fs FeatureSet) [][]float64 {
+	X := make([][]float64, len(feats))
+	for i, f := range feats {
+		X[i] = fs.project(f)
+	}
+	return X
+}
+
+// CrossValidate evaluates a classifier on the labelled term set with
+// k-fold cross-validation, returning the pooled confusion matrix. This
+// is the protocol behind the paper's "F-measure of 98%" claim.
+func CrossValidate(c *corpus.Corpus, polysemic, monosemic []string,
+	factory func() ml.Classifier, fs FeatureSet, folds int, seed int64) (eval.Confusion, error) {
+	X, y := buildDataset(c, polysemic, monosemic, fs)
+	return ml.CrossValidate(factory, X, y, folds, seed)
+}

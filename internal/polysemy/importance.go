@@ -1,0 +1,74 @@
+package polysemy
+
+import (
+	"math"
+	"sort"
+)
+
+// FeatureScore reports one feature's discriminative power.
+type FeatureScore struct {
+	Name  string
+	Score float64 // absolute standardized mean difference (Cohen's d)
+}
+
+// FeatureImportance ranks the 23 features by the absolute standardized
+// difference of their class means (Cohen's d with pooled variance) —
+// the simple, classifier-independent explanation of which features
+// carry the polysemy signal.
+func FeatureImportance(feats []Features, y []bool) []FeatureScore {
+	if len(feats) == 0 || len(feats) != len(y) {
+		return nil
+	}
+	d := NumDirect + NumGraph
+	var posMean, negMean, posVar, negVar [NumDirect + NumGraph]float64
+	var nPos, nNeg float64
+	for i, f := range feats {
+		v := f.Vector()
+		if y[i] {
+			nPos++
+			for j := 0; j < d; j++ {
+				posMean[j] += v[j]
+			}
+		} else {
+			nNeg++
+			for j := 0; j < d; j++ {
+				negMean[j] += v[j]
+			}
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return nil
+	}
+	for j := 0; j < d; j++ {
+		posMean[j] /= nPos
+		negMean[j] /= nNeg
+	}
+	for i, f := range feats {
+		v := f.Vector()
+		for j := 0; j < d; j++ {
+			if y[i] {
+				dv := v[j] - posMean[j]
+				posVar[j] += dv * dv
+			} else {
+				dv := v[j] - negMean[j]
+				negVar[j] += dv * dv
+			}
+		}
+	}
+	out := make([]FeatureScore, d)
+	for j := 0; j < d; j++ {
+		pooled := math.Sqrt((posVar[j] + negVar[j]) / (nPos + nNeg))
+		score := 0.0
+		if pooled > 1e-12 {
+			score = math.Abs(posMean[j]-negMean[j]) / pooled
+		}
+		out[j] = FeatureScore{Name: FeatureNames[j], Score: score}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

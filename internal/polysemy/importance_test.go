@@ -1,0 +1,45 @@
+package polysemy
+
+import "testing"
+
+func TestFeatureImportance(t *testing.T) {
+	set := smallSet()
+	feats, y := ExtractAll(set.Corpus, set.Polysemic, set.Monosemic)
+	scores := FeatureImportance(feats, y)
+	if len(scores) != NumDirect+NumGraph {
+		t.Fatalf("scores = %d", len(scores))
+	}
+	// Sorted descending.
+	for i := 1; i < len(scores); i++ {
+		if scores[i].Score > scores[i-1].Score {
+			t.Fatal("not sorted")
+		}
+	}
+	// Every feature name appears exactly once.
+	seen := map[string]bool{}
+	for _, s := range scores {
+		if seen[s.Name] {
+			t.Errorf("duplicate feature %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Score < 0 {
+			t.Errorf("negative importance for %q", s.Name)
+		}
+	}
+	// The top feature genuinely separates the classes on this data.
+	if scores[0].Score < 0.5 {
+		t.Errorf("top importance = %v, expected a real signal", scores[0].Score)
+	}
+}
+
+func TestFeatureImportanceDegenerate(t *testing.T) {
+	if got := FeatureImportance(nil, nil); got != nil {
+		t.Error("nil input should yield nil")
+	}
+	// Single-class input is undefined.
+	set := smallSet()
+	feats, _ := ExtractAll(set.Corpus, set.Polysemic[:2], nil)
+	if got := FeatureImportance(feats, []bool{true, true}); got != nil {
+		t.Error("single-class input should yield nil")
+	}
+}

@@ -1,0 +1,152 @@
+package polysemy
+
+import (
+	"math"
+	"testing"
+
+	"bioenrich/internal/ml"
+	"bioenrich/internal/synth"
+)
+
+var smallSetCache *synth.PolysemySet
+
+// smallSet builds (once) a compact labelled corpus for fast tests.
+func smallSet() *synth.PolysemySet {
+	if smallSetCache == nil {
+		opts := synth.DefaultPolysemyOptions()
+		opts.NumPolysemic = 12
+		opts.NumMonosemic = 12
+		opts.ContextsPerTerm = 24
+		smallSetCache = synth.GeneratePolysemySet(opts)
+	}
+	return smallSetCache
+}
+
+func TestFeatureNamesCount(t *testing.T) {
+	if len(FeatureNames) != NumDirect+NumGraph {
+		t.Fatalf("FeatureNames = %d, want %d", len(FeatureNames), NumDirect+NumGraph)
+	}
+	if NumDirect != 11 || NumGraph != 12 {
+		t.Error("paper specifies 11 direct + 12 graph features")
+	}
+}
+
+func TestExtractVectorShape(t *testing.T) {
+	set := smallSet()
+	f := Extract(set.Corpus, set.Polysemic[0])
+	v := f.Vector()
+	if len(v) != 23 {
+		t.Fatalf("vector length = %d", len(v))
+	}
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Errorf("feature %s = %v", FeatureNames[i], x)
+		}
+	}
+}
+
+func TestExtractUnknownTerm(t *testing.T) {
+	set := smallSet()
+	f := Extract(set.Corpus, "never seen anywhere")
+	for i, x := range f.Vector() {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Errorf("feature %s = %v for unseen term", FeatureNames[i], x)
+		}
+	}
+}
+
+func TestPolysemicFeaturesSeparate(t *testing.T) {
+	// The load-bearing features must point the expected way on
+	// average: polysemic terms have higher context entropy and lower
+	// mean context similarity.
+	set := smallSet()
+	var polyEntropy, monoEntropy, polySim, monoSim float64
+	for _, term := range set.Polysemic {
+		f := Extract(set.Corpus, term)
+		polyEntropy += f.Direct[3]
+		polySim += f.Direct[5]
+	}
+	for _, term := range set.Monosemic {
+		f := Extract(set.Corpus, term)
+		monoEntropy += f.Direct[3]
+		monoSim += f.Direct[5]
+	}
+	n := float64(len(set.Polysemic))
+	if polyEntropy/n <= monoEntropy/n {
+		t.Errorf("entropy: poly %.3f <= mono %.3f", polyEntropy/n, monoEntropy/n)
+	}
+	if polySim/n >= monoSim/n {
+		t.Errorf("mean context similarity: poly %.3f >= mono %.3f", polySim/n, monoSim/n)
+	}
+}
+
+func TestFeatureSetProjection(t *testing.T) {
+	var f Features
+	for i := range f.Direct {
+		f.Direct[i] = 1
+	}
+	for i := range f.Graph {
+		f.Graph[i] = 2
+	}
+	if got := DirectOnly.project(f); len(got) != 11 || got[0] != 1 {
+		t.Errorf("DirectOnly = %v", got)
+	}
+	if got := GraphOnly.project(f); len(got) != 12 || got[0] != 2 {
+		t.Errorf("GraphOnly = %v", got)
+	}
+	if got := AllFeatures.project(f); len(got) != 23 {
+		t.Errorf("AllFeatures = %v", got)
+	}
+	if AllFeatures.String() != "all-23" || DirectOnly.String() != "direct-11" ||
+		GraphOnly.String() != "graph-12" {
+		t.Error("FeatureSet names")
+	}
+}
+
+func TestTrainAndDetect(t *testing.T) {
+	set := smallSet()
+	det, err := Train(set.Corpus, set.Polysemic, set.Monosemic,
+		func() ml.Classifier { return ml.NewRandomForest() }, AllFeatures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for _, term := range set.Polysemic {
+		if det.IsPolysemic(set.Corpus, term) {
+			correct++
+		}
+	}
+	for _, term := range set.Monosemic {
+		if !det.IsPolysemic(set.Corpus, term) {
+			correct++
+		}
+	}
+	total := len(set.Polysemic) + len(set.Monosemic)
+	if acc := float64(correct) / float64(total); acc < 0.85 {
+		t.Errorf("training-set accuracy = %.3f", acc)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	set := smallSet()
+	if _, err := Train(set.Corpus, nil, nil,
+		func() ml.Classifier { return ml.NewKNN() }, AllFeatures); err == nil {
+		t.Error("empty training set accepted")
+	}
+}
+
+func TestCrossValidateHighF1(t *testing.T) {
+	// The headline claim of step II: near-98% F-measure. On the
+	// synthetic set the signal is strong; require ≥ 0.85 with a small
+	// budget so the test stays fast.
+	set := smallSet()
+	conf, err := CrossValidate(set.Corpus, set.Polysemic, set.Monosemic,
+		func() ml.Classifier { return ml.NewLogisticRegression() },
+		AllFeatures, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.F1() < 0.85 {
+		t.Errorf("CV F1 = %.3f (%s)", conf.F1(), conf)
+	}
+}

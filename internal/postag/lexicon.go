@@ -1,0 +1,166 @@
+package postag
+
+// Closed-class lexicons and open-class suffix rules per language. These
+// do not aim for full POS coverage: the workflow only needs reliable
+// noun-phrase boundaries, which closed-class words and derivational
+// suffixes determine almost entirely in biomedical text.
+
+var enLexicon = map[Tag][]string{
+	Determiner: {
+		"the", "a", "an", "this", "that", "these", "those", "each",
+		"every", "some", "any", "no", "all", "both", "either", "neither",
+	},
+	Preposition: {
+		"of", "in", "on", "at", "by", "for", "with", "without", "from",
+		"to", "into", "onto", "about", "against", "between", "among",
+		"during", "after", "before", "under", "over", "through", "via",
+		"within", "upon", "per", "versus", "near", "across", "along",
+		"behind", "beyond", "inside", "outside", "toward", "towards",
+	},
+	Pronoun: {
+		"i", "you", "he", "she", "it", "we", "they", "him", "her",
+		"them", "us", "me", "its", "their", "our", "his", "hers",
+		"who", "whom", "which", "what",
+	},
+	Conjunction: {"and", "or", "but", "nor", "so", "yet", "because",
+		"although", "while", "whereas", "if", "unless", "since", "than"},
+	Verb: {
+		"is", "are", "was", "were", "be", "been", "being", "has", "have",
+		"had", "having", "do", "does", "did", "can", "could", "may",
+		"might", "must", "shall", "should", "will", "would", "show",
+		"shows", "showed", "shown", "report", "reported", "include",
+		"includes", "included", "cause", "causes", "caused", "induce",
+		"induces", "induced", "treat", "treats", "treated", "observe",
+		"observed", "perform", "performed", "occur", "occurs", "occurred",
+		"suggest", "suggests", "suggested", "indicate", "indicates",
+		"indicated", "evaluate", "evaluated", "require", "requires",
+		"required", "associated", "affect", "affects", "affected",
+	},
+	Adverb: {
+		"very", "also", "often", "frequently", "rarely", "usually",
+		"significantly", "commonly", "highly", "mostly", "mainly",
+		"not", "never", "always", "here", "there", "however", "moreover",
+		"furthermore", "therefore", "thus",
+	},
+	Adjective: {
+		"acute", "chronic", "severe", "mild", "clinical", "medical",
+		"corneal", "ocular", "renal", "hepatic", "cardiac", "pulmonary",
+		"gastric", "neural", "viral", "bacterial", "fungal", "malignant",
+		"benign", "primary", "secondary", "bilateral", "unilateral",
+		"congenital", "acquired", "systemic", "topical", "oral",
+		"intravenous", "new", "novel", "common", "rare", "early", "late",
+		"high", "low", "large", "small", "human", "animal", "infectious",
+	},
+}
+
+// Suffix rules (checked in order). English biomedical derivational
+// morphology is highly regular: -itis/-osis/-oma are nouns, -ous/-ic
+// adjectives, etc.
+var enSuffixes = []suffixRule{
+	{"ically", Adverb},
+	{"ly", Adverb},
+	{"tion", Noun}, {"sion", Noun}, {"ment", Noun}, {"ness", Noun},
+	{"ity", Noun}, {"itis", Noun}, {"osis", Noun}, {"oma", Noun},
+	{"emia", Noun}, {"pathy", Noun}, {"ectomy", Noun}, {"ogy", Noun},
+	{"gram", Noun}, {"graphy", Noun}, {"ase", Noun}, {"ine", Noun},
+	{"ism", Noun}, {"ance", Noun}, {"ence", Noun},
+	{"ous", Adjective}, {"ial", Adjective}, {"ical", Adjective},
+	{"ic", Adjective}, {"ive", Adjective}, {"ary", Adjective},
+	{"able", Adjective}, {"ible", Adjective}, {"al", Adjective},
+	{"ing", Verb}, {"ed", Verb}, {"ize", Verb}, {"ate", Verb},
+}
+
+var frLexicon = map[Tag][]string{
+	Determiner: {
+		"le", "la", "les", "un", "une", "des", "du", "ce", "cet",
+		"cette", "ces", "chaque", "tout", "toute", "tous", "toutes",
+	},
+	Preposition: {
+		"de", "a", "dans", "sur", "sous", "avec", "sans", "pour", "par",
+		"entre", "chez", "vers", "pendant", "apres", "avant", "contre",
+		"selon", "depuis", "lors", "d",
+	},
+	Pronoun: {"je", "tu", "il", "elle", "nous", "vous", "ils", "elles",
+		"on", "qui", "que", "dont", "lui", "leur", "se", "y"},
+	Conjunction: {"et", "ou", "mais", "donc", "car", "ni", "si",
+		"quand", "lorsque", "parce"},
+	Verb: {
+		"est", "sont", "etait", "etaient", "etre", "a", "ont", "avait",
+		"avoir", "peut", "peuvent", "doit", "doivent", "montre",
+		"montrent", "presente", "presentent", "provoque", "cause",
+		"traite", "observe", "induit",
+	},
+	Adverb: {"tres", "souvent", "rarement", "frequemment", "toujours",
+		"jamais", "aussi", "plus", "moins", "bien", "mal", "ainsi",
+		"cependant", "neanmoins"},
+	Adjective: {
+		"aigu", "aigue", "chronique", "severe", "clinique", "medical",
+		"medicale", "corneen", "corneenne", "oculaire", "renal",
+		"renale", "hepatique", "cardiaque", "pulmonaire", "gastrique",
+		"viral", "virale", "bacterien", "bacterienne", "malin",
+		"maligne", "benin", "benigne", "primaire", "secondaire",
+		"congenital", "congenitale", "nouveau", "nouvelle", "commun",
+		"rare", "humain", "humaine", "infectieux", "infectieuse",
+	},
+}
+
+var frSuffixes = []suffixRule{
+	{"ment", Adverb}, // adverbial -ment dominates in running text
+	{"tion", Noun}, {"sion", Noun}, {"ite", Noun}, {"ose", Noun},
+	{"ome", Noun}, {"emie", Noun}, {"pathie", Noun}, {"logie", Noun},
+	{"graphie", Noun}, {"ance", Noun}, {"ence", Noun}, {"isme", Noun},
+	{"eur", Noun}, {"age", Noun},
+	{"ique", Adjective}, {"aire", Adjective}, {"eux", Adjective},
+	{"euse", Adjective}, {"if", Adjective}, {"ive", Adjective},
+	{"al", Adjective}, {"ale", Adjective}, {"el", Adjective},
+	{"elle", Adjective},
+	{"er", Verb}, {"ir", Verb}, {"ait", Verb}, {"ent", Verb},
+}
+
+var esLexicon = map[Tag][]string{
+	Determiner: {
+		"el", "la", "los", "las", "un", "una", "unos", "unas", "este",
+		"esta", "estos", "estas", "ese", "esa", "cada", "todo", "toda",
+		"todos", "todas",
+	},
+	Preposition: {
+		"de", "en", "a", "por", "para", "con", "sin", "sobre", "entre",
+		"desde", "hasta", "durante", "tras", "contra", "segun", "ante",
+	},
+	Pronoun: {"yo", "tu", "el", "ella", "nosotros", "vosotros", "ellos",
+		"ellas", "que", "quien", "se", "le", "les", "lo"},
+	Conjunction: {"y", "e", "o", "u", "pero", "sino", "porque", "si",
+		"cuando", "aunque", "mientras"},
+	Verb: {
+		"es", "son", "era", "eran", "ser", "esta", "estan", "estar",
+		"ha", "han", "habia", "haber", "puede", "pueden", "debe",
+		"deben", "muestra", "muestran", "presenta", "presentan",
+		"causa", "causan", "trata", "tratan", "induce", "observa",
+	},
+	Adverb: {"muy", "frecuentemente", "raramente", "siempre", "nunca",
+		"tambien", "mas", "menos", "bien", "mal", "asi", "ademas",
+		"embargo"},
+	Adjective: {
+		"agudo", "aguda", "cronico", "cronica", "severo", "severa",
+		"clinico", "clinica", "medico", "medica", "corneal", "ocular",
+		"renal", "hepatico", "hepatica", "cardiaco", "cardiaca",
+		"pulmonar", "gastrico", "gastrica", "viral", "bacteriano",
+		"bacteriana", "maligno", "maligna", "benigno", "benigna",
+		"primario", "primaria", "secundario", "secundaria", "nuevo",
+		"nueva", "comun", "raro", "rara", "humano", "humana",
+		"infeccioso", "infecciosa",
+	},
+}
+
+var esSuffixes = []suffixRule{
+	{"mente", Adverb},
+	{"cion", Noun}, {"sion", Noun}, {"itis", Noun}, {"osis", Noun},
+	{"oma", Noun}, {"emia", Noun}, {"patia", Noun}, {"logia", Noun},
+	{"grafia", Noun}, {"ancia", Noun}, {"encia", Noun}, {"ismo", Noun},
+	{"idad", Noun}, {"miento", Noun}, {"dor", Noun},
+	{"ico", Adjective}, {"ica", Adjective}, {"ario", Adjective},
+	{"aria", Adjective}, {"oso", Adjective}, {"osa", Adjective},
+	{"ivo", Adjective}, {"iva", Adjective}, {"al", Adjective},
+	{"ar", Verb}, {"er", Verb}, {"ir", Verb}, {"ado", Verb},
+	{"ido", Verb}, {"ando", Verb}, {"iendo", Verb},
+}

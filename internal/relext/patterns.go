@@ -1,0 +1,115 @@
+package relext
+
+import "strings"
+
+// Verb lexicons per relation type. Matching is on stemmed-ish surface
+// forms: each entry lists the inflections that occur in biomedical
+// abstracts. Directionality: the relation reads "A <verb> B" with A
+// the left mention.
+var (
+	causeVerbs = map[string]bool{
+		"causes": true, "cause": true, "caused": true, "causing": true,
+		"induces": true, "induce": true, "induced": true, "inducing": true,
+		"provokes": true, "provoke": true, "provoked": true,
+		"triggers": true, "trigger": true, "triggered": true,
+		"produces": true, "produce": true, "produced": true,
+		"leads": true, "led": true, // "leads to"
+	}
+	treatVerbs = map[string]bool{
+		"treats": true, "treat": true, "treated": true, "treating": true,
+		"cures": true, "cure": true, "cured": true,
+		"heals": true, "heal": true, "healed": true,
+		"relieves": true, "relieve": true, "relieved": true,
+		"alleviates": true, "alleviate": true, "alleviated": true,
+		"improves": true, "improve": true, "improved": true,
+	}
+	preventVerbs = map[string]bool{
+		"prevents": true, "prevent": true, "prevented": true,
+		"preventing": true, "avoids": true, "avoid": true,
+		"avoided": true, "reduces": true, "reduce": true, "reduced": true,
+		"inhibits": true, "inhibit": true, "inhibited": true,
+		"blocks": true, "block": true, "blocked": true,
+	}
+	// Generic connecting verbs that signal association only.
+	associationVerbs = map[string]bool{
+		"affects": true, "affect": true, "affected": true,
+		"involves": true, "involve": true, "involved": true,
+		"accompanies": true, "accompany": true, "accompanied": true,
+		"correlates": true, "correlate": true, "correlated": true,
+		"relates": true, "related": true,
+	}
+)
+
+// stopFill are tokens allowed around the pattern verb in the gap
+// ("X is often caused by Y", "X such as the Y").
+var stopFill = map[string]bool{
+	"a": true, "an": true, "the": true, "is": true, "are": true,
+	"was": true, "were": true, "be": true, "been": true, "being": true,
+	"often": true, "usually": true, "frequently": true, "commonly": true,
+	"may": true, "can": true, "could": true, "to": true, "by": true,
+	"of": true, "in": true, "with": true, "also": true, "other": true,
+	"typically": true, "directly": true, "sometimes": true,
+}
+
+// matchGap inspects the tokens between two term mentions and decides
+// whether they instantiate a relation pattern. It returns the typed
+// evidence and whether a pattern matched.
+func matchGap(a, b string, gap []string, sentence string) (evidence, bool) {
+	joined := " " + strings.Join(gap, " ") + " "
+
+	// Hearst hypernymy patterns. Directions:
+	//   "B such as A"  => A is-a B  (handled by caller order: here the
+	//    left mention is A, so the surface "A ... B" forms below).
+	switch {
+	case containsSeq(joined, " is a "), containsSeq(joined, " is an "),
+		containsSeq(joined, " is a kind of "), containsSeq(joined, " is a type of "),
+		containsSeq(joined, " is a form of "):
+		return evidence{a: a, b: b, typ: Hypernym, sentence: sentence}, true
+	case containsSeq(joined, " and other "), containsSeq(joined, " or other "):
+		// "A and other B" => A is-a B
+		return evidence{a: a, b: b, typ: Hypernym, sentence: sentence}, true
+	case containsSeq(joined, " such as "), containsSeq(joined, " including "),
+		containsSeq(joined, " especially "):
+		// "A such as B" => B is-a A (reversed direction)
+		return evidence{a: b, b: a, typ: Hypernym, sentence: sentence}, true
+	}
+
+	// Verb patterns: find the content verb in the gap; everything else
+	// must be permissible filler.
+	verb := ""
+	for _, tok := range gap {
+		if causeVerbs[tok] || treatVerbs[tok] || preventVerbs[tok] || associationVerbs[tok] {
+			if verb != "" {
+				return evidence{}, false // two competing verbs: ambiguous
+			}
+			verb = tok
+			continue
+		}
+		if !stopFill[tok] {
+			return evidence{}, false // unexpected content word in between
+		}
+	}
+	if verb == "" {
+		return evidence{}, false
+	}
+	typ := Associated
+	switch {
+	case causeVerbs[verb]:
+		typ = Causes
+	case treatVerbs[verb]:
+		typ = Treats
+	case preventVerbs[verb]:
+		typ = Prevents
+	}
+	// Passive voice flips direction: "A is caused by B" => B causes A.
+	if strings.Contains(joined, " by ") &&
+		(strings.Contains(joined, " is ") || strings.Contains(joined, " are ") ||
+			strings.Contains(joined, " was ") || strings.Contains(joined, " were ")) {
+		a, b = b, a
+	}
+	return evidence{a: a, b: b, typ: typ, verb: verb, sentence: sentence}, true
+}
+
+func containsSeq(haystack, needle string) bool {
+	return strings.Contains(haystack, needle)
+}

@@ -1,0 +1,45 @@
+package senseind
+
+import (
+	"fmt"
+
+	"bioenrich/internal/cluster"
+	"bioenrich/internal/synth"
+)
+
+// QualityCell reports how well one algorithm × representation recovers
+// the gold sense partition when given the true k — isolating clustering
+// quality from the k-prediction problem the indexes solve.
+type QualityCell struct {
+	Algorithm      cluster.Algorithm
+	Representation Representation
+	MeanARI        float64
+	MeanNMI        float64
+	MeanPurity     float64
+}
+
+// EvaluateClusterQuality clusters every entity's contexts at its gold
+// k and averages the external indexes against the gold sense labels.
+func EvaluateClusterQuality(ds *synth.WSDDataset, alg cluster.Algorithm,
+	rep Representation, seed int64) (QualityCell, error) {
+	cell := QualityCell{Algorithm: alg, Representation: rep}
+	if len(ds.Entities) == 0 {
+		return cell, fmt.Errorf("senseind: empty dataset")
+	}
+	var sumARI, sumNMI, sumPurity float64
+	for _, e := range ds.Entities {
+		vecs := Vectorize(e.Contexts, rep)
+		c, err := cluster.Run(alg, vecs, e.K, seed)
+		if err != nil {
+			return cell, fmt.Errorf("senseind: quality %s/%s: %w", alg, rep, err)
+		}
+		sumARI += cluster.ARI(c, e.Labels)
+		sumNMI += cluster.NMI(c, e.Labels)
+		sumPurity += cluster.Purity(c, e.Labels)
+	}
+	n := float64(len(ds.Entities))
+	cell.MeanARI = sumARI / n
+	cell.MeanNMI = sumNMI / n
+	cell.MeanPurity = sumPurity / n
+	return cell, nil
+}

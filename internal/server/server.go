@@ -1,0 +1,326 @@
+// Package server exposes the enrichment workflow over HTTP — the role
+// the BIOTEX web application plays for the paper's step I, extended to
+// all four steps. JSON in, JSON out, stdlib net/http only.
+//
+// Endpoints:
+//
+//	GET  /health                         liveness
+//	GET  /ontology/stats                 concept/term/polysemy counts
+//	GET  /ontology/term?t=<term>         concepts lexicalizing a term
+//	GET  /search?q=<query>&n=10          BM25 document search
+//	GET  /extract?measure=<m>&top=20     step I ranking
+//	GET  /senses?term=<t>&algorithm=&index=&rep=&monosemic=
+//	GET  /link?term=<t>&top=10           step IV proposals
+//	POST /documents                      add documents (JSON array), reindex
+//	POST /enrich                         run steps I-IV; {"apply":true} mutates
+//	GET  /relations?top=20               typed relations between ontology terms
+//	POST /disambiguate                   {"term":..., "context":[...]} -> sense
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"bioenrich/internal/cluster"
+	"bioenrich/internal/core"
+	"bioenrich/internal/corpus"
+	"bioenrich/internal/linkage"
+	"bioenrich/internal/ontology"
+	"bioenrich/internal/relext"
+	"bioenrich/internal/senseind"
+	"bioenrich/internal/termex"
+)
+
+// Server wires a corpus and an ontology to HTTP handlers. All handlers
+// take the read lock; mutating handlers (POST /documents,
+// POST /enrich with apply) take the write lock.
+type Server struct {
+	mu  sync.RWMutex
+	c   *corpus.Corpus
+	o   *ontology.Ontology
+	cfg core.Config
+}
+
+// New builds a server around a corpus and ontology.
+func New(c *corpus.Corpus, o *ontology.Ontology) *Server {
+	return &Server{c: c, o: o, cfg: core.DefaultConfig()}
+}
+
+// Handler returns the routing http.Handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /health", s.handleHealth)
+	mux.HandleFunc("GET /ontology/stats", s.handleOntologyStats)
+	mux.HandleFunc("GET /ontology/term", s.handleOntologyTerm)
+	mux.HandleFunc("GET /search", s.handleSearch)
+	mux.HandleFunc("GET /extract", s.handleExtract)
+	mux.HandleFunc("GET /senses", s.handleSenses)
+	mux.HandleFunc("GET /link", s.handleLink)
+	mux.HandleFunc("POST /documents", s.handleAddDocuments)
+	mux.HandleFunc("POST /enrich", s.handleEnrich)
+	mux.HandleFunc("GET /relations", s.handleRelations)
+	mux.HandleFunc("POST /disambiguate", s.handleDisambiguate)
+	return mux
+}
+
+// writeJSON writes v with status 200 (or the given code).
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// errorJSON reports an error as {"error": "..."}.
+func errorJSON(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func intParam(r *http.Request, name string, def int) int {
+	if v := r.URL.Query().Get(name); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"docs":     s.c.NumDocs(),
+		"concepts": s.o.NumConcepts(),
+	})
+}
+
+func (s *Server) handleOntologyStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	stats := s.o.PolysemyStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":      s.o.Name,
+		"concepts":  s.o.NumConcepts(),
+		"terms":     s.o.NumTerms(),
+		"polysemy":  stats,
+		"polysemic": len(s.o.PolysemicTerms()),
+	})
+}
+
+func (s *Server) handleOntologyTerm(w http.ResponseWriter, r *http.Request) {
+	term := r.URL.Query().Get("t")
+	if term == "" {
+		errorJSON(w, http.StatusBadRequest, fmt.Errorf("missing ?t=<term>"))
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := s.o.ConceptsForTerm(term)
+	if len(ids) == 0 {
+		errorJSON(w, http.StatusNotFound, fmt.Errorf("term %q not in ontology", term))
+		return
+	}
+	type conceptView struct {
+		ID        ontology.ConceptID   `json:"id"`
+		Preferred string               `json:"preferred"`
+		Synonyms  []string             `json:"synonyms"`
+		Parents   []ontology.ConceptID `json:"parents"`
+		Children  []ontology.ConceptID `json:"children"`
+	}
+	var out []conceptView
+	for _, id := range ids {
+		c := s.o.Concept(id)
+		out = append(out, conceptView{
+			ID: id, Preferred: c.Preferred, Synonyms: c.Synonyms,
+			Parents: c.Parents, Children: c.Children,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"term": term, "concepts": out})
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		errorJSON(w, http.StatusBadRequest, fmt.Errorf("missing ?q=<query>"))
+		return
+	}
+	n := intParam(r, "n", 10)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, s.c.Search(q, n))
+}
+
+func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
+	measure := termex.Measure(r.URL.Query().Get("measure"))
+	if measure == "" {
+		measure = termex.LIDF
+	}
+	top := intParam(r, "top", 20)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ext := termex.NewExtractor(s.c)
+	ext.LearnPatterns(s.o.Terms())
+	ranked, err := ext.Rank(measure, top)
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ranked)
+}
+
+func (s *Server) handleSenses(w http.ResponseWriter, r *http.Request) {
+	term := r.URL.Query().Get("term")
+	if term == "" {
+		errorJSON(w, http.StatusBadRequest, fmt.Errorf("missing ?term="))
+		return
+	}
+	in := senseind.New()
+	if v := r.URL.Query().Get("algorithm"); v != "" {
+		in.Algorithm = cluster.Algorithm(v)
+	}
+	if v := r.URL.Query().Get("index"); v != "" {
+		in.Index = cluster.Index(v)
+	}
+	if v := r.URL.Query().Get("rep"); v != "" {
+		in.Representation = senseind.Representation(v)
+	}
+	polysemic := r.URL.Query().Get("monosemic") == ""
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	res, err := in.Induce(s.c, term, polysemic)
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleLink(w http.ResponseWriter, r *http.Request) {
+	term := r.URL.Query().Get("term")
+	if term == "" {
+		errorJSON(w, http.StatusBadRequest, fmt.Errorf("missing ?term="))
+		return
+	}
+	top := intParam(r, "top", 10)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	props, err := linkage.New(s.c, s.o, linkage.DefaultOptions()).Propose(term, top)
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, props)
+}
+
+func (s *Server) handleAddDocuments(w http.ResponseWriter, r *http.Request) {
+	var docs []corpus.Document
+	if err := json.NewDecoder(r.Body).Decode(&docs); err != nil {
+		errorJSON(w, http.StatusBadRequest, fmt.Errorf("decode documents: %w", err))
+		return
+	}
+	if len(docs) == 0 {
+		errorJSON(w, http.StatusBadRequest, fmt.Errorf("no documents"))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.c.AddAll(docs)
+	s.c.Build()
+	writeJSON(w, http.StatusOK, map[string]int{"docs": s.c.NumDocs()})
+}
+
+// handleRelations extracts typed relations between ontology terms
+// (GET /relations?top=20) — the future-work extension over HTTP.
+func (s *Server) handleRelations(w http.ResponseWriter, r *http.Request) {
+	top := intParam(r, "top", 20)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rels := relext.NewExtractor(s.o.Terms(), s.c.Lang()).Extract(s.c)
+	if top > 0 && top < len(rels) {
+		rels = rels[:top]
+	}
+	writeJSON(w, http.StatusOK, rels)
+}
+
+// disambiguateRequest is the POST /disambiguate body: induce the
+// term's senses from the corpus, then assign the provided context.
+type disambiguateRequest struct {
+	Term    string   `json:"term"`
+	Context []string `json:"context"`
+}
+
+func (s *Server) handleDisambiguate(w http.ResponseWriter, r *http.Request) {
+	var req disambiguateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		errorJSON(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if req.Term == "" || len(req.Context) == 0 {
+		errorJSON(w, http.StatusBadRequest, fmt.Errorf("term and context are required"))
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	in := senseind.New()
+	res, err := in.Induce(s.c, req.Term, true)
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, err)
+		return
+	}
+	d, err := senseind.NewDisambiguator(res, in.Representation)
+	if err != nil {
+		errorJSON(w, http.StatusInternalServerError, err)
+		return
+	}
+	sense, sim := d.Disambiguate(req.Context)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"term":       req.Term,
+		"senses":     res.K,
+		"sense":      sense,
+		"similarity": sim,
+		"features":   res.Senses[sense].Features,
+	})
+}
+
+// enrichRequest is the POST /enrich body.
+type enrichRequest struct {
+	Top   int  `json:"top"`
+	Apply bool `json:"apply"`
+}
+
+func (s *Server) handleEnrich(w http.ResponseWriter, r *http.Request) {
+	var req enrichRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			errorJSON(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+			return
+		}
+	}
+	if req.Top <= 0 {
+		req.Top = 10
+	}
+	s.mu.Lock() // Run reads; Apply mutates — take the write lock for both
+	defer s.mu.Unlock()
+	cfg := s.cfg
+	cfg.TopCandidates = req.Top
+	enricher := core.NewEnricher(s.c, s.o, cfg)
+	report, err := enricher.Run()
+	if err != nil {
+		errorJSON(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := map[string]any{"report": report}
+	if req.Apply {
+		applied, err := enricher.Apply(report, core.DefaultPolicy())
+		if err != nil {
+			errorJSON(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp["applied"] = applied
+		resp["terms"] = s.o.NumTerms()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

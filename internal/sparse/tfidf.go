@@ -1,0 +1,57 @@
+package sparse
+
+import "math"
+
+// DF counts, per feature, the number of vectors in which the feature
+// has non-zero weight (document frequency).
+func DF(vecs []Vector) map[string]int {
+	df := make(map[string]int)
+	for _, v := range vecs {
+		for k, w := range v {
+			if w != 0 {
+				df[k]++
+			}
+		}
+	}
+	return df
+}
+
+// TFIDF reweights each vector in place with the standard
+// tf × log(N/df) scheme, where N is the number of vectors. Vectors are
+// then L2-normalized, the preprocessing CLUTO applies before spherical
+// k-means. Features occurring in every document get weight 0.
+func TFIDF(vecs []Vector) {
+	df := DF(vecs)
+	n := float64(len(vecs))
+	for _, v := range vecs {
+		for k, w := range v {
+			idf := math.Log(n / float64(df[k]))
+			v[k] = w * idf
+		}
+		v.Normalize()
+	}
+}
+
+// IDFWeights returns the idf weight log(N/df) for each feature over the
+// collection, for weighting vectors built after the collection was
+// scanned.
+func IDFWeights(vecs []Vector) map[string]float64 {
+	df := DF(vecs)
+	n := float64(len(vecs))
+	out := make(map[string]float64, len(df))
+	for k, d := range df {
+		out[k] = math.Log(n / float64(d))
+	}
+	return out
+}
+
+// ApplyIDF multiplies v's weights by the given idf map in place
+// (features missing from idf keep their raw weight) and L2-normalizes.
+func ApplyIDF(v Vector, idf map[string]float64) {
+	for k, w := range v {
+		if iw, ok := idf[k]; ok {
+			v[k] = w * iw
+		}
+	}
+	v.Normalize()
+}

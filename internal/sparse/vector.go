@@ -1,0 +1,200 @@
+// Package sparse implements sparse real-valued vectors keyed by string
+// features, the vector-space substrate for every similarity computation
+// in the workflow: context bag-of-words vectors, TF-IDF weighting,
+// cluster centroids, and cosine similarity.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Vector is a sparse map from feature to weight. The zero value (nil
+// map) is a usable empty vector for read operations; use New or make
+// before writing.
+type Vector map[string]float64
+
+// New returns an empty vector with capacity hint n.
+func New(n int) Vector {
+	return make(Vector, n)
+}
+
+// FromCounts builds a vector of raw term counts from a token stream.
+func FromCounts(tokens []string) Vector {
+	v := make(Vector, len(tokens))
+	for _, t := range tokens {
+		v[t]++
+	}
+	return v
+}
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	for k, w := range v {
+		out[k] = w
+	}
+	return out
+}
+
+// Add accumulates other into v in place.
+func (v Vector) Add(other Vector) {
+	for k, w := range other {
+		v[k] += w
+	}
+}
+
+// Scale multiplies every weight by s in place.
+func (v Vector) Scale(s float64) {
+	for k := range v {
+		v[k] *= s
+	}
+}
+
+// Dot returns the inner product of v and other. Iterates over the
+// smaller vector.
+func (v Vector) Dot(other Vector) float64 {
+	a, b := v, other
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	var sum float64
+	for k, w := range a {
+		if bw, ok := b[k]; ok {
+			sum += w * bw
+		}
+	}
+	return sum
+}
+
+// Norm returns the Euclidean (L2) norm.
+func (v Vector) Norm() float64 {
+	var sum float64
+	for _, w := range v {
+		sum += w * w
+	}
+	return math.Sqrt(sum)
+}
+
+// L1Norm returns the sum of absolute weights.
+func (v Vector) L1Norm() float64 {
+	var sum float64
+	for _, w := range v {
+		sum += math.Abs(w)
+	}
+	return sum
+}
+
+// Normalize scales v to unit L2 norm in place. A zero vector is left
+// unchanged.
+func (v Vector) Normalize() {
+	n := v.Norm()
+	if n == 0 {
+		return
+	}
+	v.Scale(1 / n)
+}
+
+// Cosine returns the cosine similarity between v and other, in [−1, 1]
+// for real weights and [0, 1] for non-negative weights. Either vector
+// being zero yields 0.
+func (v Vector) Cosine(other Vector) float64 {
+	nv, no := v.Norm(), other.Norm()
+	if nv == 0 || no == 0 {
+		return 0
+	}
+	c := v.Dot(other) / (nv * no)
+	// Clamp floating-point drift so callers can rely on the bound.
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return c
+}
+
+// Jaccard returns the weighted Jaccard similarity
+// Σ min(v_i, o_i) / Σ max(v_i, o_i) for non-negative vectors.
+func (v Vector) Jaccard(other Vector) float64 {
+	var minSum, maxSum float64
+	for k, w := range v {
+		ow := other[k]
+		minSum += math.Min(w, ow)
+		maxSum += math.Max(w, ow)
+	}
+	for k, ow := range other {
+		if _, seen := v[k]; !seen {
+			maxSum += ow
+		}
+	}
+	if maxSum == 0 {
+		return 0
+	}
+	return minSum / maxSum
+}
+
+// Top returns the n highest-weighted features in descending weight
+// order (ties broken alphabetically for determinism).
+func (v Vector) Top(n int) []Entry {
+	entries := make([]Entry, 0, len(v))
+	for k, w := range v {
+		entries = append(entries, Entry{Feature: k, Weight: w})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Weight != entries[j].Weight {
+			return entries[i].Weight > entries[j].Weight
+		}
+		return entries[i].Feature < entries[j].Feature
+	})
+	if n < len(entries) {
+		entries = entries[:n]
+	}
+	return entries
+}
+
+// Entry is a (feature, weight) pair produced by Top.
+type Entry struct {
+	Feature string
+	Weight  float64
+}
+
+// String renders the entry as "feature:weight".
+func (e Entry) String() string {
+	return fmt.Sprintf("%s:%.4f", e.Feature, e.Weight)
+}
+
+// Centroid returns the arithmetic mean of the given vectors. An empty
+// input yields an empty vector.
+func Centroid(vecs []Vector) Vector {
+	c := New(16)
+	if len(vecs) == 0 {
+		return c
+	}
+	for _, v := range vecs {
+		c.Add(v)
+	}
+	c.Scale(1 / float64(len(vecs)))
+	return c
+}
+
+// Sum returns the (unnormalized) vector sum of vecs. The composite
+// vector D_S of a cluster, used by the I2 clustering criterion.
+func Sum(vecs []Vector) Vector {
+	s := New(16)
+	for _, v := range vecs {
+		s.Add(v)
+	}
+	return s
+}
+
+// String renders the vector's top entries, mainly for debugging.
+func (v Vector) String() string {
+	top := v.Top(8)
+	parts := make([]string, len(top))
+	for i, e := range top {
+		parts[i] = e.String()
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}

@@ -1,0 +1,127 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bioenrich/internal/ontology"
+)
+
+// MeshOptions configures the MeSH-like ontology generator.
+type MeshOptions struct {
+	Seed        int64
+	Branches    int     // top-level categories (MeSH has 16)
+	Depth       int     // tree depth below the roots
+	MinChildren int     // children per internal concept
+	MaxChildren int     // inclusive
+	MaxSynonyms int     // synonyms per concept (0..MaxSynonyms)
+	TopicSize   int     // topic vocabulary per concept
+	ParentShare float64 // fraction of topic words inherited from the parent
+	ZipfS       float64 // topic Zipf exponent
+}
+
+// DefaultMeshOptions returns the configuration used by the experiments:
+// a few hundred concepts, shallow MeSH-like hierarchy.
+func DefaultMeshOptions() MeshOptions {
+	return MeshOptions{
+		Seed:        1,
+		Branches:    4,
+		Depth:       3,
+		MinChildren: 3,
+		MaxChildren: 4,
+		MaxSynonyms: 3,
+		TopicSize:   40,
+		ParentShare: 0.35,
+		ZipfS:       1.05,
+	}
+}
+
+// Mesh bundles the generated ontology with each concept's topic model;
+// the corpus generator samples from these topics so that textual
+// context similarity mirrors ontological proximity.
+type Mesh struct {
+	Ontology *ontology.Ontology
+	Topics   map[ontology.ConceptID]*Topic
+}
+
+// GenerateMesh builds a MeSH-like ontology: a forest of Branches trees
+// of the given depth, every concept carrying a preferred term, a few
+// synonyms, and a topic that shares ParentShare of its vocabulary with
+// its parent's topic.
+func GenerateMesh(opts MeshOptions) *Mesh {
+	r := rand.New(rand.NewSource(opts.Seed))
+	wg := NewWordGen(opts.Seed + 1)
+	o := ontology.New("synthetic-mesh")
+	topics := make(map[ontology.ConceptID]*Topic)
+
+	next := 0
+	newID := func() ontology.ConceptID {
+		next++
+		return ontology.ConceptID(fmt.Sprintf("D%06d", next))
+	}
+
+	addConcept := func(parent ontology.ConceptID, parentTopic *Topic, treeNum string) (ontology.ConceptID, *Topic) {
+		id := newID()
+		// Preferred term: 1–3 words, biased to 2 (MeSH-like).
+		nWords := 1 + r.Intn(3)
+		if nWords == 3 && r.Intn(2) == 0 {
+			nWords = 2
+		}
+		c, err := o.AddConcept(id, wg.Term(nWords))
+		if err != nil {
+			panic(err) // ids are unique by construction
+		}
+		c.TreeNums = []string{treeNum}
+		for s := r.Intn(opts.MaxSynonyms + 1); s > 0; s-- {
+			// Synonyms reuse one word of the preferred term half the
+			// time, mimicking "corneal injury"/"corneal damage".
+			if r.Intn(2) == 0 {
+				if err := o.AddSynonym(id, firstWord(c.Preferred)+" "+wg.Word()); err != nil {
+					panic(err)
+				}
+			} else if err := o.AddSynonym(id, wg.Term(1+r.Intn(2))); err != nil {
+				panic(err)
+			}
+		}
+		topic := Mixed(parentTopic, wg.Words(opts.TopicSize), opts.ParentShare, opts.ZipfS)
+		topics[id] = topic
+		if parent != "" {
+			if err := o.SetParent(id, parent); err != nil {
+				panic(err) // tree construction cannot cycle
+			}
+		}
+		return id, topic
+	}
+
+	var grow func(parent ontology.ConceptID, parentTopic *Topic, depth int, treeNum string)
+	grow = func(parent ontology.ConceptID, parentTopic *Topic, depth int, treeNum string) {
+		if depth == 0 {
+			return
+		}
+		n := opts.MinChildren
+		if opts.MaxChildren > opts.MinChildren {
+			n += r.Intn(opts.MaxChildren - opts.MinChildren + 1)
+		}
+		for i := 0; i < n; i++ {
+			tn := fmt.Sprintf("%s.%d", treeNum, i+1)
+			id, topic := addConcept(parent, parentTopic, tn)
+			grow(id, topic, depth-1, tn)
+		}
+	}
+
+	for b := 0; b < opts.Branches; b++ {
+		tn := fmt.Sprintf("C%02d", b+1)
+		id, topic := addConcept("", nil, tn)
+		grow(id, topic, opts.Depth, tn)
+	}
+	return &Mesh{Ontology: o, Topics: topics}
+}
+
+func firstWord(term string) string {
+	for i := 0; i < len(term); i++ {
+		if term[i] == ' ' {
+			return term[:i]
+		}
+	}
+	return term
+}

@@ -1,0 +1,141 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"bioenrich/internal/corpus"
+	"bioenrich/internal/textutil"
+)
+
+// PolysemyOptions configures the step II training-set generator.
+type PolysemyOptions struct {
+	Seed            int64
+	NumPolysemic    int // labelled positive terms
+	NumMonosemic    int // labelled negative terms
+	ContextsPerTerm int
+	ContextLen      int
+	TopicSize       int
+	TopicShare      float64
+	// SharedShare is the fraction of a polysemic term's sense
+	// vocabularies shared across its senses; higher values blur the
+	// polysemy signal (real UMLS senses of one term are often related).
+	SharedShare float64
+	// MonoAspectShare is the vocabulary overlap between a monosemic
+	// term's discourse aspects (etiology / treatment / epidemiology…):
+	// monosemic terms also show context diversity in real abstracts,
+	// which is what makes step II non-trivial. 1 disables aspects.
+	MonoAspectShare float64
+	BackgroundSize  int
+	ZipfS           float64
+}
+
+// DefaultPolysemyOptions returns the experiment configuration: a
+// balanced set, as used for classifier training in the paper's step II.
+func DefaultPolysemyOptions() PolysemyOptions {
+	return PolysemyOptions{
+		Seed:            4,
+		NumPolysemic:    60,
+		NumMonosemic:    60,
+		ContextsPerTerm: 35,
+		ContextLen:      16,
+		TopicSize:       35,
+		TopicShare:      0.58,
+		SharedShare:     0.1,
+		MonoAspectShare: 0.93,
+		BackgroundSize:  700,
+		ZipfS:           1.05,
+	}
+}
+
+// PolysemySet is a labelled corpus for polysemy detection: every term
+// in Polysemic draws its contexts from 2–5 distinct topics; every term
+// in Monosemic from a single topic.
+type PolysemySet struct {
+	Corpus    *corpus.Corpus
+	Polysemic []string
+	Monosemic []string
+}
+
+// GeneratePolysemySet builds the labelled corpus. One document per
+// context keeps context windows clean.
+func GeneratePolysemySet(opts PolysemyOptions) *PolysemySet {
+	r := rand.New(rand.NewSource(opts.Seed))
+	wg := NewWordGen(opts.Seed + 17)
+	bg := NewTopic(wg.Words(opts.BackgroundSize), opts.ZipfS)
+	c := corpus.New(textutil.English)
+	set := &PolysemySet{}
+	docID := 0
+
+	emit := func(term string, topics []*Topic) {
+		for i := 0; i < opts.ContextsPerTerm; i++ {
+			topic := topics[i%len(topics)]
+			words := make([]string, opts.ContextLen)
+			for j := range words {
+				if r.Float64() < opts.TopicShare {
+					words[j] = topic.Sample(r)
+				} else {
+					words[j] = bg.Sample(r)
+				}
+			}
+			pos := len(words) / 2
+			sentence := append(append(append([]string{}, words[:pos]...), term), words[pos:]...)
+			docID++
+			c.Add(corpus.Document{
+				ID:   fmt.Sprintf("poly%06d", docID),
+				Text: strings.Join(sentence, " ") + ".",
+			})
+		}
+	}
+
+	for i := 0; i < opts.NumPolysemic; i++ {
+		term := fmt.Sprintf("polyterm%03d", i+1)
+		k := 2 + r.Intn(4) // 2..5 senses
+		nShared := int(float64(opts.TopicSize) * opts.SharedShare)
+		shared := wg.Words(nShared)
+		topics := make([]*Topic, k)
+		for s := range topics {
+			topics[s] = NewTopic(interleave(shared, wg.Words(opts.TopicSize-nShared)), opts.ZipfS)
+		}
+		emit(term, topics)
+		set.Polysemic = append(set.Polysemic, term)
+	}
+	for i := 0; i < opts.NumMonosemic; i++ {
+		term := fmt.Sprintf("monoterm%03d", i+1)
+		aspectShare := opts.MonoAspectShare
+		if aspectShare <= 0 || aspectShare >= 1 {
+			emit(term, []*Topic{NewTopic(wg.Words(opts.TopicSize), opts.ZipfS)})
+		} else {
+			// Three discourse aspects sharing most of one vocabulary.
+			nShared := int(float64(opts.TopicSize) * aspectShare)
+			core := wg.Words(nShared)
+			aspects := make([]*Topic, 3)
+			for a := range aspects {
+				aspects[a] = NewTopic(interleave(core, wg.Words(opts.TopicSize-nShared)), opts.ZipfS)
+			}
+			emit(term, aspects)
+		}
+		set.Monosemic = append(set.Monosemic, term)
+	}
+	c.Build()
+	set.Corpus = c
+	return set
+}
+
+// interleave alternates the two word lists so that shared vocabulary
+// occupies rank positions proportionally — under a Zipf topic, list
+// order is probability mass, and appending shared words at the tail
+// would make the nominal overlap fraction meaningless.
+func interleave(a, b []string) []string {
+	out := make([]string, 0, len(a)+len(b))
+	for i := 0; i < len(a) || i < len(b); i++ {
+		if i < len(a) {
+			out = append(out, a[i])
+		}
+		if i < len(b) {
+			out = append(out, b[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package termex
+
+import (
+	"testing"
+
+	"bioenrich/internal/corpus"
+	"bioenrich/internal/textutil"
+)
+
+func termCorpus() *corpus.Corpus {
+	c := corpus.New(textutil.English)
+	c.AddAll([]corpus.Document{
+		{ID: "1", Text: "The corneal injury was a severe corneal injury. Corneal injury affects vision."},
+		{ID: "2", Text: "Severe corneal injury requires treatment. The corneal ulcer was treated."},
+		{ID: "3", Text: "Treatment of infection is standard. The infection was bacterial infection."},
+		{ID: "4", Text: "Amniotic membrane transplantation heals the damaged cornea quickly."},
+	})
+	c.Build()
+	return c
+}
+
+func scoresOf(t *testing.T, e *Extractor, m Measure) map[string]float64 {
+	t.Helper()
+	ranked, err := e.Rank(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]float64, len(ranked))
+	for _, s := range ranked {
+		out[s.Term] = s.Score
+	}
+	return out
+}
+
+func TestScanFindsCandidates(t *testing.T) {
+	e := NewExtractor(termCorpus())
+	e.Scan()
+	if e.NumCandidates() == 0 {
+		t.Fatal("no candidates")
+	}
+	if e.Freq("corneal injury") < 4 {
+		t.Errorf("freq(corneal injury) = %d", e.Freq("corneal injury"))
+	}
+	if e.Freq("the corneal") != 0 {
+		t.Error("determiner-initial candidate extracted")
+	}
+}
+
+func TestAllMeasuresProduceFiniteScores(t *testing.T) {
+	e := NewExtractor(termCorpus())
+	for _, m := range Measures {
+		ranked, err := e.Rank(m, 10)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if len(ranked) == 0 {
+			t.Fatalf("%s: empty ranking", m)
+		}
+		for i := 1; i < len(ranked); i++ {
+			if ranked[i].Score > ranked[i-1].Score {
+				t.Errorf("%s: ranking not descending at %d", m, i)
+			}
+		}
+	}
+}
+
+func TestUnknownMeasure(t *testing.T) {
+	e := NewExtractor(termCorpus())
+	if _, err := e.Rank("bogus", 5); err == nil {
+		t.Error("unknown measure accepted")
+	}
+}
+
+func TestCValueNestedPenalty(t *testing.T) {
+	// "corneal" occurs alone only nested inside "corneal injury" /
+	// "severe corneal injury", so its C-value is penalized relative to
+	// raw frequency.
+	e := NewExtractor(termCorpus())
+	cv := scoresOf(t, e, CValue)
+	// The multi-word term beats its nested unigram despite lower raw
+	// frequency of the bigram being possible.
+	if cv["corneal injury"] <= cv["corneal"] {
+		t.Errorf("C-value: nested unigram %v >= containing term %v",
+			cv["corneal"], cv["corneal injury"])
+	}
+}
+
+func TestCValueLengthFactor(t *testing.T) {
+	e := NewExtractor(termCorpus())
+	e.Scan()
+	cv := e.cValues()
+	// A never-nested term of length 2 with freq f scores log2(3)*f.
+	f := float64(e.freq["amniotic membrane"])
+	if f == 0 {
+		t.Skip("candidate pattern changed")
+	}
+	want := 1.5849625007211562 * (f - avgNested(e, "amniotic membrane"))
+	if diff := cv["amniotic membrane"] - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("C-value = %v, want %v", cv["amniotic membrane"], want)
+	}
+}
+
+func avgNested(e *Extractor, term string) float64 {
+	total, n := 0, 0
+	for longer, f := range e.freq {
+		for _, sub := range subTermsOf(longer) {
+			if sub == term {
+				total += f
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(total) / float64(n)
+}
+
+func subTermsOf(term string) []string {
+	return textutil.SubTerms(term)
+}
+
+func TestTFIDFZeroForUbiquitous(t *testing.T) {
+	c := corpus.New(textutil.English)
+	c.AddAll([]corpus.Document{
+		{ID: "1", Text: "keratitis everywhere."},
+		{ID: "2", Text: "keratitis again."},
+	})
+	c.Build()
+	e := NewExtractor(c)
+	scores := scoresOf(t, e, TFIDF)
+	if scores["keratitis"] != 0 {
+		t.Errorf("tf-idf of term in every doc = %v, want 0", scores["keratitis"])
+	}
+}
+
+func TestFTFIDFCBetweenComponents(t *testing.T) {
+	e := NewExtractor(termCorpus())
+	f := scoresOf(t, e, FTFIDFC)
+	for term, v := range f {
+		if v < 0 || v > 1+1e-9 {
+			t.Errorf("F-TFIDF-C(%s) = %v outside [0,1]", term, v)
+		}
+	}
+}
+
+func TestLIDFWithPatternModel(t *testing.T) {
+	e := NewExtractor(termCorpus())
+	e.Scan()
+	// Reference terminology of JJ NN / NN NN shapes.
+	e.LearnPatterns([]string{
+		"corneal diseases", "eye injuries", "bacterial infection",
+		"chronic disease", "viral keratitis",
+	})
+	lidf := scoresOf(t, e, LIDF)
+	if len(lidf) == 0 {
+		t.Fatal("no LIDF scores")
+	}
+	// A candidate matching a reference pattern (JJ NN, e.g. "bacterial
+	// infection") outranks one with an unseen pattern and comparable
+	// frequency, because unseen patterns get the probability floor.
+	if lidf["bacterial infection"] <= 0 {
+		t.Errorf("lidf(bacterial infection) = %v", lidf["bacterial infection"])
+	}
+}
+
+func TestRankTopN(t *testing.T) {
+	e := NewExtractor(termCorpus())
+	top3, err := e.Rank(CValue, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top3) != 3 {
+		t.Errorf("top3 = %d entries", len(top3))
+	}
+	all, _ := e.Rank(CValue, 0)
+	if len(all) <= 3 {
+		t.Errorf("Rank(0) returned %d", len(all))
+	}
+}
+
+func TestOkapiPositive(t *testing.T) {
+	e := NewExtractor(termCorpus())
+	ok := scoresOf(t, e, Okapi)
+	for term, v := range ok {
+		if v < 0 {
+			t.Errorf("okapi(%s) = %v < 0", term, v)
+		}
+	}
+	if ok["corneal injury"] == 0 {
+		t.Error("okapi of frequent term is 0")
+	}
+}
+
+func TestFrenchExtraction(t *testing.T) {
+	c := corpus.New(textutil.French)
+	c.AddAll([]corpus.Document{
+		{ID: "1", Text: "La maladie de crohn est une maladie chronique. La maladie de crohn provoque une infection."},
+	})
+	c.Build()
+	e := NewExtractor(c)
+	e.Scan()
+	if e.Freq("maladie de crohn") != 2 {
+		t.Errorf("freq(maladie de crohn) = %d", e.Freq("maladie de crohn"))
+	}
+}

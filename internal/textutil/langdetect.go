@@ -1,0 +1,54 @@
+package textutil
+
+// DetectLang guesses the language of a text by stopword hit counting —
+// the standard cheap heuristic, and entirely adequate to route
+// documents to the right stopword list and stemmer in a multilingual
+// biomedical collection. English wins ties (the dominant language of
+// the domain).
+func DetectLang(text string) Lang {
+	counts := map[Lang]int{}
+	for _, w := range Words(text) {
+		n := Normalize(w)
+		for _, lang := range []Lang{English, French, Spanish} {
+			if stopSets[lang][n] {
+				counts[lang]++
+			}
+		}
+	}
+	best := English
+	bestN := counts[English]
+	for _, lang := range []Lang{French, Spanish} {
+		if counts[lang] > bestN {
+			best, bestN = lang, counts[lang]
+		}
+	}
+	return best
+}
+
+// DetectLangConfidence returns the winning language together with the
+// fraction of its stopword hits among all stopword hits (0 when the
+// text contains no stopwords of any language — the guess is then the
+// English default and should be treated as unknown).
+func DetectLangConfidence(text string) (Lang, float64) {
+	counts := map[Lang]int{}
+	total := 0
+	for _, w := range Words(text) {
+		n := Normalize(w)
+		for _, lang := range []Lang{English, French, Spanish} {
+			if stopSets[lang][n] {
+				counts[lang]++
+				total++
+			}
+		}
+	}
+	best := English
+	for _, lang := range []Lang{French, Spanish} {
+		if counts[lang] > counts[best] {
+			best = lang
+		}
+	}
+	if total == 0 {
+		return English, 0
+	}
+	return best, float64(counts[best]) / float64(total)
+}

@@ -1,0 +1,40 @@
+package textutil
+
+import "testing"
+
+func TestDetectLang(t *testing.T) {
+	cases := []struct {
+		text string
+		want Lang
+	}{
+		{"The corneal injury of the eye was treated with antibiotics and rest.", English},
+		{"La maladie de crohn est une maladie chronique qui provoque des douleurs.", French},
+		{"La enfermedad del corazon es una enfermedad cronica que causa problemas.", Spanish},
+	}
+	for _, c := range cases {
+		if got := DetectLang(c.text); got != c.want {
+			t.Errorf("DetectLang(%q) = %v, want %v", c.text, got, c.want)
+		}
+	}
+}
+
+func TestDetectLangConfidence(t *testing.T) {
+	lang, conf := DetectLangConfidence("The injury of the eye was severe and the outcome was poor.")
+	if lang != English || conf <= 0.5 {
+		t.Errorf("got %v conf %v", lang, conf)
+	}
+	// No stopwords at all: unknown, confidence 0.
+	lang, conf = DetectLangConfidence("keratitis cardiomyopathy nephropathy")
+	if conf != 0 {
+		t.Errorf("stopword-free confidence = %v", conf)
+	}
+	if lang != English {
+		t.Errorf("default = %v", lang)
+	}
+}
+
+func TestDetectLangEmpty(t *testing.T) {
+	if got := DetectLang(""); got != English {
+		t.Errorf("empty text = %v", got)
+	}
+}

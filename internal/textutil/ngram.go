@@ -1,0 +1,40 @@
+package textutil
+
+import "strings"
+
+// NGrams returns all contiguous n-grams of words for n in [minN, maxN],
+// each joined by single spaces. The words slice is not modified.
+func NGrams(words []string, minN, maxN int) []string {
+	if minN < 1 {
+		minN = 1
+	}
+	if maxN < minN {
+		return nil
+	}
+	var out []string
+	for n := minN; n <= maxN; n++ {
+		if n > len(words) {
+			break
+		}
+		for i := 0; i+n <= len(words); i++ {
+			out = append(out, strings.Join(words[i:i+n], " "))
+		}
+	}
+	return out
+}
+
+// SubTerms returns every proper contiguous sub-phrase of the term (all
+// n-grams shorter than the term itself). Used by the C-value measure,
+// which discounts terms nested inside longer candidate terms.
+func SubTerms(term string) []string {
+	words := strings.Fields(term)
+	if len(words) <= 1 {
+		return nil
+	}
+	return NGrams(words, 1, len(words)-1)
+}
+
+// WordCount returns the number of space-separated words in term.
+func WordCount(term string) int {
+	return len(strings.Fields(term))
+}

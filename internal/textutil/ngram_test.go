@@ -1,0 +1,78 @@
+package textutil
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNGrams(t *testing.T) {
+	words := []string{"a", "b", "c"}
+	got := NGrams(words, 1, 2)
+	want := []string{"a", "b", "c", "a b", "b c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("NGrams = %v, want %v", got, want)
+	}
+}
+
+func TestNGramsEdgeCases(t *testing.T) {
+	if got := NGrams(nil, 1, 3); got != nil {
+		t.Errorf("NGrams(nil) = %v", got)
+	}
+	if got := NGrams([]string{"a"}, 2, 3); got != nil {
+		t.Errorf("NGrams beyond length = %v", got)
+	}
+	if got := NGrams([]string{"a", "b"}, 3, 1); got != nil {
+		t.Errorf("NGrams inverted range = %v", got)
+	}
+	// minN clamped to 1.
+	if got := NGrams([]string{"a"}, 0, 1); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Errorf("NGrams clamp = %v", got)
+	}
+}
+
+func TestSubTerms(t *testing.T) {
+	got := SubTerms("corneal injury severity")
+	want := []string{
+		"corneal", "injury", "severity",
+		"corneal injury", "injury severity",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SubTerms = %v, want %v", got, want)
+	}
+	if got := SubTerms("single"); got != nil {
+		t.Errorf("SubTerms(single) = %v, want nil", got)
+	}
+}
+
+func TestWordCount(t *testing.T) {
+	if WordCount("corneal injuries") != 2 {
+		t.Error("WordCount failed")
+	}
+	if WordCount("") != 0 {
+		t.Error("WordCount empty failed")
+	}
+}
+
+func TestNGramCountProperty(t *testing.T) {
+	// For n words and 1..n grams the count is n(n+1)/2.
+	f := func(raw []string) bool {
+		var words []string
+		for _, w := range raw {
+			w = strings.TrimSpace(w)
+			if w != "" && !strings.ContainsAny(w, " \t\n") {
+				words = append(words, w)
+			}
+		}
+		if len(words) > 20 {
+			words = words[:20]
+		}
+		n := len(words)
+		got := len(NGrams(words, 1, n))
+		return got == n*(n+1)/2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,70 @@
+package textutil
+
+import (
+	"strings"
+	"unicode"
+)
+
+// accentFold maps accented Latin runes used in French and Spanish
+// biomedical text to their unaccented ASCII equivalents.
+var accentFold = map[rune]rune{
+	'à': 'a', 'á': 'a', 'â': 'a', 'ä': 'a', 'ã': 'a', 'å': 'a',
+	'è': 'e', 'é': 'e', 'ê': 'e', 'ë': 'e',
+	'ì': 'i', 'í': 'i', 'î': 'i', 'ï': 'i',
+	'ò': 'o', 'ó': 'o', 'ô': 'o', 'ö': 'o', 'õ': 'o',
+	'ù': 'u', 'ú': 'u', 'û': 'u', 'ü': 'u',
+	'ç': 'c', 'ñ': 'n', 'ý': 'y', 'ÿ': 'y',
+	'œ': 'o', 'æ': 'a',
+}
+
+// FoldAccents replaces accented runes with ASCII equivalents. Case is
+// preserved for unmapped runes; mapped runes are defined lowercase, so
+// callers normally Lower first (Normalize does both).
+func FoldAccents(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range s {
+		lr := unicode.ToLower(r)
+		if f, ok := accentFold[lr]; ok {
+			if r != lr { // preserve upper case
+				b.WriteRune(unicode.ToUpper(f))
+			} else {
+				b.WriteRune(f)
+			}
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// Normalize lowercases s and folds accents. This is the canonical form
+// used as index key throughout the corpus and ontology packages.
+func Normalize(s string) string {
+	return FoldAccents(strings.ToLower(strings.TrimSpace(s)))
+}
+
+// NormalizeTerm normalizes a multi-word term: each word is normalized
+// and words are joined by single spaces. "Corneal  Injuries " and
+// "corneal injuries" normalize identically.
+func NormalizeTerm(s string) string {
+	words := Words(s)
+	for i, w := range words {
+		words[i] = Normalize(w)
+	}
+	return strings.Join(words, " ")
+}
+
+// IsNumeric reports whether the token consists only of digits,
+// separators and signs — these are never term words.
+func IsNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if !unicode.IsDigit(r) && r != '.' && r != ',' && r != '-' && r != '+' {
+			return false
+		}
+	}
+	return true
+}

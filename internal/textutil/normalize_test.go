@@ -1,0 +1,106 @@
+package textutil
+
+import (
+	"testing"
+	"testing/quick"
+	"unicode"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Corneal Injuries", "corneal injuries"},
+		{"  Maladie Cœliaque ", "maladie coliaque"},
+		{"SÉVÈRE", "severe"},
+		{"niño", "nino"},
+		{"Œdème", "odeme"},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeTerm(t *testing.T) {
+	if got := NormalizeTerm("Corneal   Injuries!"); got != "corneal injuries" {
+		t.Errorf("got %q", got)
+	}
+	if got := NormalizeTerm(""); got != "" {
+		t.Errorf("got %q, want empty", got)
+	}
+}
+
+func TestFoldAccentsPreservesCase(t *testing.T) {
+	if got := FoldAccents("É"); got != "E" {
+		t.Errorf("FoldAccents(É) = %q, want E", got)
+	}
+}
+
+func TestIsNumeric(t *testing.T) {
+	for _, s := range []string{"123", "3.14", "-1", "1,000"} {
+		if !IsNumeric(s) {
+			t.Errorf("IsNumeric(%q) = false, want true", s)
+		}
+	}
+	for _, s := range []string{"", "a1", "x", "1a"} {
+		if IsNumeric(s) {
+			t.Errorf("IsNumeric(%q) = true, want false", s)
+		}
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		once := Normalize(s)
+		return Normalize(once) == once
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeLowercases(t *testing.T) {
+	// Some letters (e.g. 𝕐) are category Lu with no lowercase mapping,
+	// so the invariant is ToLower-fixedpoint, not !IsUpper.
+	f := func(s string) bool {
+		for _, r := range Normalize(s) {
+			if unicode.ToLower(r) != r {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContentWordsFiltersStopwords(t *testing.T) {
+	got := ContentWords("The corneal injury of the eye is severe.", English)
+	for _, w := range got {
+		if IsStopword(w, English) {
+			t.Errorf("stopword %q survived", w)
+		}
+	}
+	want := []string{"corneal", "injury", "eye", "severe"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got[%d]=%q want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestContentWordsFrench(t *testing.T) {
+	got := ContentWords("La maladie du cœur est sévère.", French)
+	for _, w := range got {
+		if IsStopword(w, French) {
+			t.Errorf("french stopword %q survived", w)
+		}
+	}
+	if len(got) == 0 {
+		t.Error("expected content words")
+	}
+}

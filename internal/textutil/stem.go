@@ -1,0 +1,304 @@
+package textutil
+
+import "strings"
+
+// Stem reduces word (already normalized) to its stem for lang. English
+// uses the Porter algorithm; French and Spanish use light suffix
+// strippers adequate for matching inflectional variants in biomedical
+// text (plural and common derivational endings).
+func Stem(word string, lang Lang) string {
+	switch lang {
+	case French:
+		return stemFrench(word)
+	case Spanish:
+		return stemSpanish(word)
+	default:
+		return PorterStem(word)
+	}
+}
+
+// StemPhrase stems every word of a (space separated, normalized)
+// multi-word term.
+func StemPhrase(phrase string, lang Lang) string {
+	words := strings.Fields(phrase)
+	for i, w := range words {
+		words[i] = Stem(w, lang)
+	}
+	return strings.Join(words, " ")
+}
+
+// ---- Porter stemmer (English) ----
+//
+// A faithful implementation of M. Porter, "An algorithm for suffix
+// stripping", Program 14(3), 1980.
+
+type porterWord struct {
+	b []byte
+	k int // offset to the last character
+}
+
+func isCons(w *porterWord, i int) bool {
+	switch w.b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !isCons(w, i-1)
+	}
+	return true
+}
+
+// m measures the number of consonant-vowel sequences in b[0..j].
+func (w *porterWord) m(j int) int {
+	n := 0
+	i := 0
+	for {
+		if i > j {
+			return n
+		}
+		if !isCons(w, i) {
+			break
+		}
+		i++
+	}
+	i++
+	for {
+		for {
+			if i > j {
+				return n
+			}
+			if isCons(w, i) {
+				break
+			}
+			i++
+		}
+		i++
+		n++
+		for {
+			if i > j {
+				return n
+			}
+			if !isCons(w, i) {
+				break
+			}
+			i++
+		}
+		i++
+	}
+}
+
+func (w *porterWord) vowelInStem(j int) bool {
+	for i := 0; i <= j; i++ {
+		if !isCons(w, i) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *porterWord) doubleCons(j int) bool {
+	if j < 1 {
+		return false
+	}
+	if w.b[j] != w.b[j-1] {
+		return false
+	}
+	return isCons(w, j)
+}
+
+// cvc reports consonant-vowel-consonant ending where the final
+// consonant is not w, x or y.
+func (w *porterWord) cvc(i int) bool {
+	if i < 2 || !isCons(w, i) || isCons(w, i-1) || !isCons(w, i-2) {
+		return false
+	}
+	switch w.b[i] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+func (w *porterWord) ends(s string) (int, bool) {
+	l := len(s)
+	if l > w.k+1 {
+		return 0, false
+	}
+	if string(w.b[w.k+1-l:w.k+1]) != s {
+		return 0, false
+	}
+	return w.k - l, true
+}
+
+func (w *porterWord) setTo(j int, s string) {
+	w.b = append(w.b[:j+1], s...)
+	w.k = j + len(s)
+}
+
+func (w *porterWord) r(j int, s string) {
+	if w.m(j) > 0 {
+		w.setTo(j, s)
+	}
+}
+
+// PorterStem returns the Porter stem of an already-lowercased ASCII
+// word. Words shorter than 3 characters are returned unchanged.
+func PorterStem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	for i := 0; i < len(word); i++ {
+		c := word[i]
+		if c < 'a' || c > 'z' {
+			return word // non-ASCII-letter content: leave untouched
+		}
+	}
+	w := &porterWord{b: []byte(word), k: len(word) - 1}
+
+	// Step 1a
+	if w.b[w.k] == 's' {
+		if j, ok := w.ends("sses"); ok {
+			w.setTo(j+2, "")
+		} else if j, ok := w.ends("ies"); ok {
+			w.setTo(j, "i")
+		} else if w.k >= 1 && w.b[w.k-1] != 's' {
+			w.k--
+			w.b = w.b[:w.k+1]
+		}
+	}
+	// Step 1b
+	if j, ok := w.ends("eed"); ok {
+		if w.m(j) > 0 {
+			w.k--
+			w.b = w.b[:w.k+1]
+		}
+	} else {
+		var j int
+		var ok bool
+		if j, ok = w.ends("ed"); !ok {
+			j, ok = w.ends("ing")
+		}
+		if ok && w.vowelInStem(j) {
+			w.setTo(j, "")
+			if _, e := w.ends("at"); e {
+				w.setTo(w.k, "e")
+			} else if _, e := w.ends("bl"); e {
+				w.setTo(w.k, "e")
+			} else if _, e := w.ends("iz"); e {
+				w.setTo(w.k, "e")
+			} else if w.doubleCons(w.k) {
+				c := w.b[w.k]
+				if c != 'l' && c != 's' && c != 'z' {
+					w.k--
+					w.b = w.b[:w.k+1]
+				}
+			} else if w.m(w.k) == 1 && w.cvc(w.k) {
+				w.setTo(w.k, "e")
+			}
+		}
+	}
+	// Step 1c
+	if _, ok := w.ends("y"); ok && w.vowelInStem(w.k-1) {
+		w.b[w.k] = 'i'
+	}
+	// Step 2
+	step2 := []struct{ suf, rep string }{
+		{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+		{"anci", "ance"}, {"izer", "ize"}, {"abli", "able"},
+		{"alli", "al"}, {"entli", "ent"}, {"eli", "e"},
+		{"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+		{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"},
+		{"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+		{"iviti", "ive"}, {"biliti", "ble"},
+	}
+	for _, s := range step2 {
+		if j, ok := w.ends(s.suf); ok {
+			w.r(j, s.rep)
+			break
+		}
+	}
+	// Step 3
+	step3 := []struct{ suf, rep string }{
+		{"icate", "ic"}, {"ative", ""}, {"alize", "al"},
+		{"iciti", "ic"}, {"ical", "ic"}, {"ful", ""}, {"ness", ""},
+	}
+	for _, s := range step3 {
+		if j, ok := w.ends(s.suf); ok {
+			w.r(j, s.rep)
+			break
+		}
+	}
+	// Step 4
+	step4 := []string{
+		"al", "ance", "ence", "er", "ic", "able", "ible", "ant",
+		"ement", "ment", "ent", "ion", "ou", "ism", "ate", "iti",
+		"ous", "ive", "ize",
+	}
+	for _, suf := range step4 {
+		j, ok := w.ends(suf)
+		if !ok {
+			continue
+		}
+		if suf == "ion" && !(j >= 0 && (w.b[j] == 's' || w.b[j] == 't')) {
+			continue
+		}
+		if w.m(j) > 1 {
+			w.setTo(j, "")
+		}
+		break
+	}
+	// Step 5a
+	if w.b[w.k] == 'e' {
+		a := w.m(w.k - 1)
+		if a > 1 || (a == 1 && !w.cvc(w.k-1)) {
+			w.k--
+			w.b = w.b[:w.k+1]
+		}
+	}
+	// Step 5b
+	if w.b[w.k] == 'l' && w.doubleCons(w.k) && w.m(w.k) > 1 {
+		w.k--
+		w.b = w.b[:w.k+1]
+	}
+	return string(w.b[:w.k+1])
+}
+
+// ---- Light stemmers (French, Spanish) ----
+
+var frenchSuffixes = []string{
+	"issements", "issement", "atrices", "atrice", "ateurs", "ateur",
+	"logies", "logie", "iques", "ique", "ismes", "isme", "istes", "iste",
+	"ables", "able", "ances", "ance", "ences", "ence", "ments", "ment",
+	"ites", "ite", "ives", "ive", "eaux", "aux", "euse", "eux",
+	"ees", "ee", "es", "e", "s",
+}
+
+func stemFrench(word string) string {
+	return stripSuffixes(word, frenchSuffixes, 3)
+}
+
+var spanishSuffixes = []string{
+	"amientos", "amiento", "imientos", "imiento", "aciones", "acion",
+	"adoras", "adores", "adora", "ador", "logias", "logia", "ancias",
+	"ancia", "encias", "encia", "idades", "idad", "ismos", "ismo",
+	"istas", "ista", "ibles", "ible", "ables", "able", "mente",
+	"ivas", "ivos", "iva", "ivo", "osas", "osos", "osa", "oso",
+	"icas", "icos", "ica", "ico", "es", "as", "os", "a", "o", "s",
+}
+
+func stemSpanish(word string) string {
+	return stripSuffixes(word, spanishSuffixes, 3)
+}
+
+// stripSuffixes removes the first (longest-listed-first) matching
+// suffix, provided the remaining stem keeps at least minStem runes.
+func stripSuffixes(word string, suffixes []string, minStem int) string {
+	for _, suf := range suffixes {
+		if strings.HasSuffix(word, suf) && len(word)-len(suf) >= minStem {
+			return word[:len(word)-len(suf)]
+		}
+	}
+	return word
+}

@@ -1,0 +1,153 @@
+package textutil
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPorterStemKnown(t *testing.T) {
+	// Reference pairs from Porter's published vocabulary.
+	cases := []struct{ in, want string }{
+		{"caresses", "caress"},
+		{"ponies", "poni"},
+		{"ties", "ti"},
+		{"caress", "caress"},
+		{"cats", "cat"},
+		{"feed", "feed"},
+		{"agreed", "agre"},
+		{"plastered", "plaster"},
+		{"bled", "bled"},
+		{"motoring", "motor"},
+		{"sing", "sing"},
+		{"conflated", "conflat"},
+		{"troubled", "troubl"},
+		{"sized", "size"},
+		{"hopping", "hop"},
+		{"tanned", "tan"},
+		{"falling", "fall"},
+		{"hissing", "hiss"},
+		{"fizzed", "fizz"},
+		{"failing", "fail"},
+		{"filing", "file"},
+		{"happy", "happi"},
+		{"sky", "sky"},
+		{"relational", "relat"},
+		{"conditional", "condit"},
+		{"rational", "ration"},
+		{"valenci", "valenc"},
+		{"digitizer", "digit"},
+		{"operator", "oper"},
+		{"feudalism", "feudal"},
+		{"decisiveness", "decis"},
+		{"hopefulness", "hope"},
+		{"formaliti", "formal"},
+		{"triplicate", "triplic"},
+		{"formative", "form"},
+		{"formalize", "formal"},
+		{"electriciti", "electr"},
+		{"electrical", "electr"},
+		{"hopeful", "hope"},
+		{"goodness", "good"},
+		{"revival", "reviv"},
+		{"allowance", "allow"},
+		{"inference", "infer"},
+		{"airliner", "airlin"},
+		{"adjustment", "adjust"},
+		{"dependent", "depend"},
+		{"adoption", "adopt"},
+		{"homologou", "homolog"},
+		{"communism", "commun"},
+		{"activate", "activ"},
+		{"angulariti", "angular"},
+		{"homologous", "homolog"},
+		{"effective", "effect"},
+		{"bowdlerize", "bowdler"},
+		{"probate", "probat"},
+		{"rate", "rate"},
+		{"cease", "ceas"},
+		{"controll", "control"},
+		{"roll", "roll"},
+	}
+	for _, c := range cases {
+		if got := PorterStem(c.in); got != c.want {
+			t.Errorf("PorterStem(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPorterStemBiomedical(t *testing.T) {
+	// Variants of the same biomedical word must share a stem.
+	groups := [][]string{
+		{"injury", "injuries"},
+		{"disease", "diseases"},
+		{"infection", "infections"},
+		{"treatment", "treatments"},
+	}
+	for _, g := range groups {
+		s0 := PorterStem(g[0])
+		for _, w := range g[1:] {
+			if PorterStem(w) != s0 {
+				t.Errorf("stems differ: %q->%q vs %q->%q",
+					g[0], s0, w, PorterStem(w))
+			}
+		}
+	}
+}
+
+func TestPorterStemShortAndNonASCII(t *testing.T) {
+	for _, w := range []string{"a", "ab", "", "héma"} {
+		if got := PorterStem(w); got != w {
+			t.Errorf("PorterStem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestStemFrench(t *testing.T) {
+	// Inflectional variants converge.
+	if stemFrench("maladies") != stemFrench("maladie") {
+		t.Errorf("maladies/maladie stems differ: %q vs %q",
+			stemFrench("maladies"), stemFrench("maladie"))
+	}
+	if got := stemFrench("traitements"); got != stemFrench("traitement") {
+		t.Errorf("traitements -> %q, traitement -> %q", got, stemFrench("traitement"))
+	}
+}
+
+func TestStemSpanish(t *testing.T) {
+	if stemSpanish("enfermedades") != stemSpanish("enfermedad") {
+		t.Errorf("enfermedades/enfermedad differ: %q vs %q",
+			stemSpanish("enfermedades"), stemSpanish("enfermedad"))
+	}
+}
+
+func TestStemPhrase(t *testing.T) {
+	if got := StemPhrase("corneal injuries", English); got != "corneal injuri" {
+		t.Errorf("StemPhrase = %q", got)
+	}
+}
+
+func TestStemNeverGrows(t *testing.T) {
+	f := func(s string) bool {
+		n := Normalize(s)
+		for _, lang := range []Lang{English, French, Spanish} {
+			if len(Stem(n, lang)) > len(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStemIdempotentOnPlurals(t *testing.T) {
+	// Stemming the stem of a simple plural is stable.
+	words := []string{"injuries", "ulcers", "membranes", "burns"}
+	for _, w := range words {
+		s := PorterStem(w)
+		if PorterStem(s) != s {
+			t.Errorf("PorterStem not stable for %q: %q -> %q", w, s, PorterStem(s))
+		}
+	}
+}

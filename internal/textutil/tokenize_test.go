@@ -1,0 +1,122 @@
+package textutil
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"corneal injuries", []string{"corneal", "injuries"}},
+		{"X-ray of the eye.", []string{"X-ray", "of", "the", "eye"}},
+		{"l'hôpital général", []string{"l'hôpital", "général"}},
+		{"pH 7.4, at 37°C", []string{"pH", "7", "4", "at", "37", "C"}},
+		{"", nil},
+		{"   \t\n ", nil},
+		{"alpha-beta-gamma", []string{"alpha-beta-gamma"}},
+		{"-leading and trailing-", []string{"leading", "and", "trailing"}},
+	}
+	for _, c := range cases {
+		got := Words(c.in)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Words(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenizeOffsets(t *testing.T) {
+	text := "eye injury; severe"
+	toks := Tokenize(text)
+	if len(toks) != 3 {
+		t.Fatalf("got %d tokens, want 3: %v", len(toks), toks)
+	}
+	for _, tok := range toks {
+		if text[tok.Start:tok.End] != tok.Text {
+			t.Errorf("offset mismatch: %q vs source slice %q",
+				tok.Text, text[tok.Start:tok.End])
+		}
+	}
+}
+
+func TestTokenizeOffsetsUnicode(t *testing.T) {
+	text := "maladie cœliaque sévère"
+	for _, tok := range Tokenize(text) {
+		if text[tok.Start:tok.End] != tok.Text {
+			t.Errorf("unicode offset mismatch: %q vs %q",
+				tok.Text, text[tok.Start:tok.End])
+		}
+	}
+}
+
+func TestTokenizeNoApostropheAtEnd(t *testing.T) {
+	got := Words("patients' records")
+	want := []string{"patients", "records"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestSentences(t *testing.T) {
+	text := "Corneal injury is severe. It affects vision! Does it heal? Yes; often."
+	got := Sentences(text)
+	if len(got) != 5 {
+		t.Fatalf("got %d sentences %v, want 5", len(got), got)
+	}
+	if got[0] != "Corneal injury is severe." {
+		t.Errorf("first sentence = %q", got[0])
+	}
+}
+
+func TestSentencesAbbreviations(t *testing.T) {
+	text := "The dose was 3.5 mg per day. Treatment, e.g. topical, continued."
+	got := Sentences(text)
+	if len(got) != 2 {
+		t.Fatalf("got %d sentences: %v", len(got), got)
+	}
+}
+
+func TestSentencesEmpty(t *testing.T) {
+	if got := Sentences(""); len(got) != 0 {
+		t.Errorf("Sentences(\"\") = %v, want empty", got)
+	}
+	if got := Sentences("no terminal punctuation"); len(got) != 1 {
+		t.Errorf("got %v, want 1 sentence", got)
+	}
+}
+
+func TestTokenizePropertyOffsetsConsistent(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if tok.Start < 0 || tok.End > len(s) || tok.Start >= tok.End {
+				return false
+			}
+			if s[tok.Start:tok.End] != tok.Text {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenizePropertyOrdered(t *testing.T) {
+	f := func(s string) bool {
+		prev := -1
+		for _, tok := range Tokenize(s) {
+			if tok.Start <= prev {
+				return false
+			}
+			prev = tok.Start
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
