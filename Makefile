@@ -1,0 +1,35 @@
+# bioenrich build/verify/bench entry points.
+#
+#   make verify   tier-1 gate: build + vet + race-enabled tests
+#   make test     plain test run (what CI's quick loop wants)
+#   make bench    full benchmark sweep -> BENCH_<timestamp>.json
+#   make bench-enricher   just the worker-pool speedup pair
+
+GO ?= go
+
+.PHONY: verify build vet test race bench bench-enricher
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector is the proof obligation for the enricher worker
+# pool and the linkage context-vector cache; these three packages are
+# where the concurrency lives, the rest ride along for free.
+race:
+	$(GO) test -race ./internal/core ./internal/server ./internal/linkage
+
+verify: build vet test race
+
+# Bench trajectory: one JSON-lines file per invocation (test2json
+# stream), named so successive runs accumulate side by side.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -json . > BENCH_$$(date +%Y%m%d_%H%M%S).json
+
+bench-enricher:
+	$(GO) test -run '^$$' -bench 'BenchmarkEnricherRun' -benchmem .

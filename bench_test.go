@@ -8,9 +8,11 @@ package bioenrich
 // regenerates the paper's values.
 
 import (
+	"fmt"
 	"testing"
 
 	"bioenrich/internal/cluster"
+	"bioenrich/internal/core"
 	"bioenrich/internal/experiments"
 	"bioenrich/internal/linkage"
 	"bioenrich/internal/polysemy"
@@ -139,6 +141,37 @@ func BenchmarkTable4LinkagePrecision(b *testing.B) {
 	b.ReportMetric(res.PrecisionAt[2], "P@2")
 	b.ReportMetric(res.PrecisionAt[5], "P@5")
 	b.ReportMetric(res.PrecisionAt[10], "P@10")
+}
+
+// BenchmarkEnricherRun times the full steps I–IV pipeline over the
+// synthetic mesh corpus at different worker-pool sizes. Steps II–IV
+// are per-candidate independent and run on core.Config.Workers
+// goroutines; the workers=1 / workers=N pair puts the parallel
+// speedup into the bench trajectory (on multi-core hardware expect
+// ≥1.5× at 4 workers; a single-core runner shows parity, which is
+// itself the no-regression signal for the pool's overhead).
+func BenchmarkEnricherRun(b *testing.B) {
+	mopts := synth.DefaultMeshOptions()
+	copts := synth.DefaultCorpusOptions()
+	copts.DocsPerConcept = 3
+	mesh := synth.GenerateMesh(mopts)
+	c := synth.GenerateMeshCorpus(mesh, copts)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.TopCandidates = 12
+			cfg.Workers = workers
+			var candidates int
+			for i := 0; i < b.N; i++ {
+				report, err := core.NewEnricher(c, mesh.Ontology, cfg).Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				candidates = len(report.Candidates)
+			}
+			b.ReportMetric(float64(candidates), "candidates")
+		})
+	}
 }
 
 // ---- component micro-benchmarks (the substrate the tables run on) ----

@@ -27,17 +27,18 @@ func main() {
 	top := flag.Int("top", 20, "candidates to push through steps II-IV")
 	apply := flag.Bool("apply", false, "apply accepted proposals to the ontology")
 	relations := flag.Bool("relations", false, "also extract typed relations to the proposed anchors")
+	workers := flag.Int("workers", 0, "worker pool for steps II-IV (0 = all cores)")
 	out := flag.String("out", "enriched.json", "output path for the enriched ontology (with -apply)")
 	reportPath := flag.String("report", "", "write a Markdown curation report to this path")
 	flag.Parse()
 
-	if err := run(*corpusPath, *ontPath, termex.Measure(*measure), *top, *apply, *relations, *out, *reportPath); err != nil {
+	if err := run(*corpusPath, *ontPath, termex.Measure(*measure), *top, *workers, *apply, *relations, *out, *reportPath); err != nil {
 		fmt.Fprintln(os.Stderr, "enrich:", err)
 		os.Exit(1)
 	}
 }
 
-func run(corpusPath, ontPath string, measure termex.Measure, top int, apply, relations bool, out, reportPath string) error {
+func run(corpusPath, ontPath string, measure termex.Measure, top, workers int, apply, relations bool, out, reportPath string) error {
 	if corpusPath == "" || ontPath == "" {
 		return fmt.Errorf("-corpus and -ontology are required (generate with gencorpus)")
 	}
@@ -52,6 +53,7 @@ func run(corpusPath, ontPath string, measure termex.Measure, top int, apply, rel
 	cfg := core.DefaultConfig()
 	cfg.Measure = measure
 	cfg.TopCandidates = top
+	cfg.Workers = workers
 	cfg.ExtractRelations = relations
 	enricher := core.NewEnricher(c, o, cfg)
 

@@ -54,7 +54,7 @@ func TestRunEndToEnd(t *testing.T) {
 	corpPath, ontPath, dir := writeFixtures(t)
 	out := filepath.Join(dir, "enriched.json")
 	report := filepath.Join(dir, "report.md")
-	if err := run(corpPath, ontPath, termex.LIDF, 10, true, true, out, report); err != nil {
+	if err := run(corpPath, ontPath, termex.LIDF, 10, 2, true, true, out, report); err != nil {
 		t.Fatal(err)
 	}
 	enriched, err := ontology.Load(out)
@@ -74,11 +74,11 @@ func TestRunEndToEnd(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", termex.LIDF, 5, false, false, "", ""); err == nil {
+	if err := run("", "", termex.LIDF, 5, 0, false, false, "", ""); err == nil {
 		t.Error("missing args accepted")
 	}
 	corpPath, ontPath, _ := writeFixtures(t)
-	if err := run(corpPath, ontPath, "bogus", 5, false, false, "", ""); err == nil {
+	if err := run(corpPath, ontPath, "bogus", 5, 0, false, false, "", ""); err == nil {
 		t.Error("bad measure accepted")
 	}
 }

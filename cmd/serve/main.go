@@ -4,18 +4,30 @@
 //
 // Usage:
 //
-//	serve -corpus data/corpus.json -ontology data/ontology.json [-addr :8080]
+//	serve -corpus data/corpus.json -ontology data/ontology.json \
+//	      [-addr :8080] [-workers N] [-shutdown-timeout 10s]
+//
+// The server is configured with conservative read/write timeouts so a
+// slow or stalled client cannot pin a connection forever, and shuts
+// down gracefully on SIGINT/SIGTERM: in-flight requests get up to
+// -shutdown-timeout to complete before the process exits.
 //
 // See internal/server for the endpoint list.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
+	"bioenrich/internal/core"
 	"bioenrich/internal/corpus"
 	"bioenrich/internal/ontology"
 	"bioenrich/internal/server"
@@ -25,6 +37,10 @@ func main() {
 	corpusPath := flag.String("corpus", "", "corpus JSON file (required)")
 	ontPath := flag.String("ontology", "", "ontology JSON file (required)")
 	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "worker pool for /enrich steps II-IV (0 = all cores)")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "max duration for reading a request")
+	writeTimeout := flag.Duration("write-timeout", 5*time.Minute, "max duration for writing a response (enrich runs are slow)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
 
 	if *corpusPath == "" || *ontPath == "" {
@@ -39,8 +55,43 @@ func main() {
 	if err != nil {
 		log.Fatalf("serve: %v", err)
 	}
-	log.Printf("serving %d docs / %d concepts on %s", c.NumDocs(), o.NumConcepts(), *addr)
-	if err := http.ListenAndServe(*addr, server.New(c, o).Handler()); err != nil {
-		log.Fatal(err)
+	cfg := core.DefaultConfig()
+	cfg.Workers = *workers
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.NewWithConfig(c, o, cfg).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("serving %d docs / %d concepts on %s (workers=%d)",
+			c.NumDocs(), o.NumConcepts(), *addr, *workers)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		// ListenAndServe never returns nil; any return here is fatal.
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second ^C kills immediately
+		log.Printf("serve: signal received, draining for up to %s", *shutdownTimeout)
+		shCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			log.Fatalf("serve: shutdown: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("serve: %v", err)
+		}
+		log.Print("serve: stopped cleanly")
 	}
 }

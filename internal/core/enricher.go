@@ -14,6 +14,8 @@ package core
 import (
 	"fmt"
 	"log/slog"
+	"runtime"
+	"sync"
 
 	"bioenrich/internal/cluster"
 	"bioenrich/internal/corpus"
@@ -46,6 +48,22 @@ type Config struct {
 	TopPositions int
 
 	Seed int64
+
+	// Workers bounds the pool that runs steps II–IV across candidates
+	// (each candidate is independent, so they parallelize cleanly).
+	// 0 means runtime.GOMAXPROCS(0). Output is deterministic for a
+	// fixed Seed regardless of Workers: every candidate clusters with
+	// its own derived seed (Seed + report index) and results land in
+	// rank order.
+	Workers int
+
+	// MaxKnown bounds how many already-known ontology terms are
+	// recorded in the report alongside the TopCandidates new terms.
+	// Known terms are informational (skipped by steps II–IV and by
+	// Apply), so without a bound a corpus dominated by known
+	// terminology yields an unbounded report. 0 means TopCandidates;
+	// negative drops known terms from the report entirely.
+	MaxKnown int
 
 	// ExtractRelations enables the future-work extension: after step
 	// IV proposes positions, typed relations between the candidate and
@@ -103,13 +121,60 @@ type Enricher struct {
 	detector *polysemy.Detector
 }
 
-// NewEnricher builds an enricher. The ontology is not copied; Apply
-// mutates it.
-func NewEnricher(c *corpus.Corpus, o *ontology.Ontology, cfg Config) *Enricher {
-	if cfg.Classifier == nil {
-		cfg = DefaultConfig()
+// withDefaults fills every zero-valued field from DefaultConfig,
+// leaving explicitly-set fields alone. A Config with only
+// TopCandidates set therefore runs the paper's defaults for the other
+// steps instead of being replaced wholesale. Seed 0 becomes 1 (the
+// paper's seed) and MaxKnown 0 becomes TopCandidates; pass a negative
+// MaxKnown to suppress known terms.
+func (c Config) withDefaults() Config {
+	def := DefaultConfig()
+	if c.Measure == "" {
+		c.Measure = def.Measure
 	}
-	return &Enricher{cfg: cfg, c: c, o: o}
+	if c.TopCandidates == 0 {
+		c.TopCandidates = def.TopCandidates
+	}
+	if c.Classifier == nil {
+		c.Classifier = def.Classifier
+	}
+	if c.Algorithm == "" {
+		c.Algorithm = def.Algorithm
+	}
+	if c.Index == "" {
+		c.Index = def.Index
+	}
+	if c.Representation == "" {
+		c.Representation = def.Representation
+	}
+	if c.Link.ContextWindow == 0 {
+		c.Link = def.Link
+	}
+	if c.TopPositions == 0 {
+		c.TopPositions = def.TopPositions
+	}
+	if c.Seed == 0 {
+		c.Seed = def.Seed
+	}
+	if c.MaxKnown == 0 {
+		c.MaxKnown = c.TopCandidates
+	}
+	return c
+}
+
+// workers resolves Config.Workers to an effective pool size.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// NewEnricher builds an enricher. The ontology is not copied; Apply
+// mutates it. Zero-valued Config fields are filled from
+// DefaultConfig; explicitly-set fields are honored as given.
+func NewEnricher(c *corpus.Corpus, o *ontology.Ontology, cfg Config) *Enricher {
+	return &Enricher{cfg: cfg.withDefaults(), c: c, o: o}
 }
 
 // Ontology returns the enricher's (live) ontology.
@@ -136,6 +201,13 @@ func (e *Enricher) IsPolysemic(c *corpus.Corpus, term string) bool {
 
 // Run executes steps I–IV and returns the report. The ontology is not
 // modified; call Apply with accepted candidates to enrich it.
+//
+// Steps II–IV are independent per candidate and run on a bounded pool
+// of Config.Workers goroutines. The report is deterministic for a
+// fixed Config.Seed whatever the pool size: candidate selection and
+// ordering are fixed by step I's rank before any worker starts, each
+// worker writes into its candidate's pre-assigned slot, and clustering
+// seeds derive from the slot index rather than scheduling order.
 func (e *Enricher) Run() (*Report, error) {
 	ext := termex.NewExtractor(e.c)
 	ext.LearnPatterns(e.o.Terms()) // LIDF pattern model from the ontology
@@ -149,60 +221,109 @@ func (e *Enricher) Run() (*Report, error) {
 			"candidates", ext.NumCandidates(),
 			"kept", e.cfg.TopCandidates)
 	}
+
+	// Selection pass (sequential): fix every candidate's slot in the
+	// report. Known terms are recorded but bounded by MaxKnown so a
+	// corpus dominated by ontology terminology cannot blow up the
+	// report; they never count against TopCandidates.
 	report := &Report{Measure: e.cfg.Measure}
-	kept := 0
+	var work []int // slots needing steps II–IV
+	kept, known := 0, 0
 	for _, st := range ranked {
 		if kept >= e.cfg.TopCandidates {
 			break
 		}
-		cand := Candidate{Term: st.Term, Score: st.Score}
 		if e.o.HasTerm(st.Term) {
-			cand.Known = true
-			report.Candidates = append(report.Candidates, cand)
+			if known >= e.cfg.MaxKnown {
+				continue
+			}
+			known++
+			report.Candidates = append(report.Candidates,
+				Candidate{Term: st.Term, Score: st.Score, Known: true})
 			continue
 		}
 		kept++
-
-		// Step II: polysemy prediction.
-		if e.detector != nil {
-			cand.Polysemic = e.detector.IsPolysemic(e.c, st.Term)
-		}
-
-		// Step III: sense induction (k = 1 for monosemic candidates).
-		inducer := &senseind.Inducer{
-			Algorithm:      e.cfg.Algorithm,
-			Index:          e.cfg.Index,
-			Representation: e.cfg.Representation,
-			Window:         senseind.DefaultWindow,
-			Seed:           e.cfg.Seed,
-		}
-		senses, err := inducer.Induce(e.c, st.Term, cand.Polysemic)
-		if err == nil {
-			cand.Senses = senses
-		}
-
-		// Step IV: position proposals.
-		linker := linkage.New(e.c, e.o, e.cfg.Link)
-		if props, err := linker.Propose(st.Term, e.cfg.TopPositions); err == nil {
-			cand.Positions = props
-		}
-
-		// Future-work extension: typed relations between the candidate
-		// and its proposed anchors.
-		if e.cfg.ExtractRelations && len(cand.Positions) > 0 {
-			vocab := []string{cand.Term}
-			for _, p := range cand.Positions {
-				vocab = append(vocab, p.Where)
-			}
-			for _, rel := range relext.NewExtractor(vocab, e.c.Lang()).Extract(e.c) {
-				if rel.A == cand.Term || rel.B == cand.Term {
-					cand.Relations = append(cand.Relations, rel)
-				}
-			}
-		}
-		report.Candidates = append(report.Candidates, cand)
+		work = append(work, len(report.Candidates))
+		report.Candidates = append(report.Candidates,
+			Candidate{Term: st.Term, Score: st.Score})
 	}
+
+	// Fan-out pass: one linker for the whole run (its context-vector
+	// cache is shared, concurrency-safe, and saves repeated corpus
+	// scans for pool terms common across candidates), one inducer
+	// template whose seed is re-derived per slot.
+	linker := linkage.New(e.c, e.o, e.cfg.Link)
+	inducer := senseind.Inducer{
+		Algorithm:      e.cfg.Algorithm,
+		Index:          e.cfg.Index,
+		Representation: e.cfg.Representation,
+		Window:         senseind.DefaultWindow,
+	}
+	workers := e.cfg.workers()
+	if workers > len(work) {
+		workers = len(work)
+	}
+	if workers <= 1 {
+		for _, slot := range work {
+			e.enrichCandidate(&report.Candidates[slot], linker, inducer, int64(slot))
+		}
+		return report, nil
+	}
+	slots := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for slot := range slots {
+				e.enrichCandidate(&report.Candidates[slot], linker, inducer, int64(slot))
+			}
+		}()
+	}
+	for _, slot := range work {
+		slots <- slot
+	}
+	close(slots)
+	wg.Wait()
 	return report, nil
+}
+
+// enrichCandidate runs steps II–IV (and the relation extension) for
+// one pre-selected candidate, writing the outcome in place. Safe to
+// call concurrently for distinct candidates: it only reads the corpus,
+// ontology and detector, and the linker's cache is concurrency-safe.
+func (e *Enricher) enrichCandidate(cand *Candidate, linker *linkage.Linker, inducer senseind.Inducer, slot int64) {
+	// Step II: polysemy prediction.
+	if e.detector != nil {
+		cand.Polysemic = e.detector.IsPolysemic(e.c, cand.Term)
+	}
+
+	// Step III: sense induction (k = 1 for monosemic candidates). The
+	// seed derives from the candidate's report slot so the clustering
+	// outcome is a pure function of (Config.Seed, slot), independent
+	// of which worker picks the candidate up and in what order.
+	if senses, err := inducer.WithSeed(e.cfg.Seed + slot).Induce(e.c, cand.Term, cand.Polysemic); err == nil {
+		cand.Senses = senses
+	}
+
+	// Step IV: position proposals.
+	if props, err := linker.Propose(cand.Term, e.cfg.TopPositions); err == nil {
+		cand.Positions = props
+	}
+
+	// Future-work extension: typed relations between the candidate
+	// and its proposed anchors.
+	if e.cfg.ExtractRelations && len(cand.Positions) > 0 {
+		vocab := []string{cand.Term}
+		for _, p := range cand.Positions {
+			vocab = append(vocab, p.Where)
+		}
+		for _, rel := range relext.NewExtractor(vocab, e.c.Lang()).Extract(e.c) {
+			if rel.A == cand.Term || rel.B == cand.Term {
+				cand.Relations = append(cand.Relations, rel)
+			}
+		}
+	}
 }
 
 // AttachPolicy decides how an accepted candidate joins the ontology.

@@ -23,6 +23,10 @@ type RoundReport struct {
 // term can pull its own neighborhood in — the compounding behaviour an
 // ontology maintenance workflow runs month over month. The loop stops
 // early when a round applies nothing.
+//
+// Each round's Run executes steps II–IV on the configured worker pool
+// (Config.Workers); rounds themselves stay sequential because round
+// n+1's anchors depend on round n's Apply.
 func (e *Enricher) RunRounds(rounds int, policy AttachPolicy) ([]RoundReport, error) {
 	var out []RoundReport
 	for r := 1; r <= rounds; r++ {
@@ -37,6 +41,7 @@ func (e *Enricher) RunRounds(rounds int, policy AttachPolicy) ([]RoundReport, er
 		if e.cfg.Log != nil {
 			e.cfg.Log.Info("enrichment round complete",
 				"round", r,
+				"workers", e.cfg.workers(),
 				"candidates", len(report.Candidates),
 				"applied", len(applied),
 				"ontology_terms", e.o.NumTerms())

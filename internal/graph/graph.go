@@ -96,11 +96,13 @@ func (g *Graph) NumEdges() int {
 // Degree returns the number of neighbors of n.
 func (g *Graph) Degree(n string) int { return len(g.adj[n]) }
 
-// WeightedDegree returns the sum of incident edge weights of n.
+// WeightedDegree returns the sum of incident edge weights of n,
+// accumulated in sorted-neighbor order so the result is identical
+// across runs even for fractional weights.
 func (g *Graph) WeightedDegree(n string) float64 {
 	var sum float64
-	for _, w := range g.adj[n] {
-		sum += w
+	for _, nb := range g.Neighbors(n) {
+		sum += g.adj[n][nb]
 	}
 	return sum
 }
@@ -150,15 +152,14 @@ func (g *Graph) Edges() []Edge {
 	return edges
 }
 
-// TotalWeight returns the sum of all edge weights.
+// TotalWeight returns the sum of all edge weights, accumulated in
+// sorted-edge order for run-to-run reproducibility.
 func (g *Graph) TotalWeight() float64 {
 	var sum float64
-	for _, nbrs := range g.adj {
-		for _, w := range nbrs {
-			sum += w
-		}
+	for _, e := range g.Edges() {
+		sum += e.Weight
 	}
-	return sum / 2
+	return sum
 }
 
 // Clone returns a deep copy of g.

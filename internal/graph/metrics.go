@@ -26,8 +26,12 @@ func (g *Graph) AverageClustering() float64 {
 	if g.NumNodes() == 0 {
 		return 0
 	}
+	// Sorted node order keeps the float reduction order-canonical;
+	// coefficients are rationals whose sum rounds differently per
+	// permutation, and downstream consumers (step II features) need
+	// run-to-run reproducibility.
 	var sum float64
-	for n := range g.adj {
+	for _, n := range g.Nodes() {
 		sum += g.ClusteringCoefficient(n)
 	}
 	return sum / float64(g.NumNodes())

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"bioenrich/internal/corpus"
 	"bioenrich/internal/ontology"
@@ -61,11 +62,23 @@ func DefaultOptions() Options {
 	}
 }
 
-// Linker proposes ontology positions for candidate terms.
+// Linker proposes ontology positions for candidate terms. A Linker is
+// safe for concurrent use: Propose only reads the corpus and ontology,
+// and the context-vector cache below is guarded. Candidates processed
+// in the same run share MeSH neighbors (and those neighbors' fathers
+// and sons), so caching each pool term's aggregated context vector
+// turns repeated corpus scans into map hits. The cache is valid as
+// long as the corpus is not rebuilt; build a fresh Linker after
+// adding documents.
 type Linker struct {
 	c    *corpus.Corpus
 	o    *ontology.Ontology
 	opts Options
+
+	// vecs caches term → sparse.Vector (the aggregated context vector
+	// at opts.ContextWindow). Cached vectors are shared and must be
+	// treated as read-only.
+	vecs sync.Map
 }
 
 // New builds a linker over a corpus and the target ontology.
@@ -76,11 +89,25 @@ func New(c *corpus.Corpus, o *ontology.Ontology, opts Options) *Linker {
 	return &Linker{c: c, o: o, opts: opts}
 }
 
+// contextVector returns the term's aggregated context vector, reading
+// the corpus at most once per term for the Linker's lifetime. Empty
+// vectors (terms absent from the corpus) are cached too — they are
+// the common case for ontology leaves and just as expensive to
+// recompute.
+func (l *Linker) contextVector(term string) sparse.Vector {
+	if v, ok := l.vecs.Load(term); ok {
+		return v.(sparse.Vector)
+	}
+	v := l.c.ContextVector(term, l.opts.ContextWindow)
+	actual, _ := l.vecs.LoadOrStore(term, v)
+	return actual.(sparse.Vector)
+}
+
 // Propose returns the top-N position proposals for a candidate term,
 // best first. The candidate must occur in the corpus.
 func (l *Linker) Propose(candidate string, topN int) ([]Proposal, error) {
 	cand := textutil.NormalizeTerm(candidate)
-	candVec := l.c.ContextVector(cand, l.opts.ContextWindow)
+	candVec := l.contextVector(cand)
 	if len(candVec) == 0 {
 		return nil, fmt.Errorf("linkage: candidate %q has no corpus contexts", candidate)
 	}
@@ -130,7 +157,7 @@ func (l *Linker) Propose(candidate string, topN int) ([]Proposal, error) {
 	// Rank the pool by context cosine with the candidate.
 	proposals := make([]Proposal, 0, len(pool))
 	for term, pe := range pool {
-		v := l.c.ContextVector(term, l.opts.ContextWindow)
+		v := l.contextVector(term)
 		if len(v) == 0 {
 			continue // ontology term absent from the corpus
 		}
@@ -210,5 +237,5 @@ func (l *Linker) meshNeighbors(cand string) []string {
 // CandidateVector exposes the candidate's aggregated context vector
 // (diagnostics and the quickstart example).
 func (l *Linker) CandidateVector(candidate string) sparse.Vector {
-	return l.c.ContextVector(textutil.NormalizeTerm(candidate), l.opts.ContextWindow)
+	return l.contextVector(textutil.NormalizeTerm(candidate))
 }

@@ -56,7 +56,10 @@ type Result struct {
 	centroids []sparse.Vector
 }
 
-// Inducer bundles the configuration of step III.
+// Inducer bundles the configuration of step III. Its methods only
+// read the receiver and their arguments, so one Inducer may be shared
+// by concurrent goroutines as long as its fields are not reassigned;
+// use WithSeed to derive per-candidate variants from a template.
 type Inducer struct {
 	Algorithm      cluster.Algorithm
 	Index          cluster.Index
@@ -76,6 +79,14 @@ func New() *Inducer {
 		Window:         DefaultWindow,
 		Seed:           1,
 	}
+}
+
+// WithSeed returns a copy of the inducer configured with seed — the
+// idiom for deriving deterministic per-candidate inducers from one
+// template when candidates run on a worker pool.
+func (in Inducer) WithSeed(seed int64) *Inducer {
+	in.Seed = seed
+	return &in
 }
 
 // Induce runs step III for a term whose polysemy status is already

@@ -44,9 +44,18 @@ type Server struct {
 	cfg core.Config
 }
 
-// New builds a server around a corpus and ontology.
+// New builds a server around a corpus and ontology with the paper's
+// default pipeline configuration.
 func New(c *corpus.Corpus, o *ontology.Ontology) *Server {
-	return &Server{c: c, o: o, cfg: core.DefaultConfig()}
+	return NewWithConfig(c, o, core.DefaultConfig())
+}
+
+// NewWithConfig builds a server with an explicit pipeline
+// configuration — the hook for cmd/serve's -workers flag and for
+// embedding the server with a tuned Config. Zero-valued fields fall
+// back to the defaults when the enricher is built.
+func NewWithConfig(c *corpus.Corpus, o *ontology.Ontology, cfg core.Config) *Server {
+	return &Server{c: c, o: o, cfg: cfg}
 }
 
 // Handler returns the routing http.Handler.
@@ -285,10 +294,13 @@ func (s *Server) handleDisambiguate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// enrichRequest is the POST /enrich body.
+// enrichRequest is the POST /enrich body. Workers, when > 0, bounds
+// the per-request worker pool for steps II–IV; 0 inherits the
+// server's configured pool (default: all cores).
 type enrichRequest struct {
-	Top   int  `json:"top"`
-	Apply bool `json:"apply"`
+	Top     int  `json:"top"`
+	Apply   bool `json:"apply"`
+	Workers int  `json:"workers"`
 }
 
 func (s *Server) handleEnrich(w http.ResponseWriter, r *http.Request) {
@@ -306,6 +318,9 @@ func (s *Server) handleEnrich(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.Unlock()
 	cfg := s.cfg
 	cfg.TopCandidates = req.Top
+	if req.Workers > 0 {
+		cfg.Workers = req.Workers
+	}
 	enricher := core.NewEnricher(s.c, s.o, cfg)
 	report, err := enricher.Run()
 	if err != nil {

@@ -2,9 +2,11 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"bioenrich/internal/corpus"
@@ -212,6 +214,89 @@ func TestEnrichAndApply(t *testing.T) {
 	stats := getJSON(t, ts.URL+"/ontology/stats", http.StatusOK)
 	if stats["terms"].(float64) <= 4 {
 		t.Errorf("terms after enrich = %v", stats["terms"])
+	}
+}
+
+// TestConcurrentMixedTraffic hammers the server with interleaved
+// reads (GET /link), corpus mutations (POST /documents) and full
+// enrichment runs with apply (POST /enrich) — the multi-user service
+// shape. Run under -race: it exercises the enricher's worker pool and
+// the linker's context-vector cache behind the server's RWMutex, and
+// proves mutating and reading handlers cannot interleave unsafely.
+func TestConcurrentMixedTraffic(t *testing.T) {
+	ts := testServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				resp, err := http.Get(ts.URL + "/link?term=corneal+abrasion&top=5")
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("GET /link: status %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				body := fmt.Sprintf(
+					`[{"id":"c%d-%d","text":"Another corneal abrasion with epithelium scarring and membrane grafts."}]`, g, i)
+				resp, err := http.Post(ts.URL+"/documents", "application/json", strings.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("POST /documents: status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			resp, err := http.Post(ts.URL+"/enrich", "application/json",
+				strings.NewReader(`{"top":3,"apply":true,"workers":4}`))
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("POST /enrich: status %d", resp.StatusCode)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The server is still coherent after the storm.
+	out := getJSON(t, ts.URL+"/health", http.StatusOK)
+	if out["status"] != "ok" {
+		t.Errorf("health after concurrent traffic = %v", out)
+	}
+	if out["docs"].(float64) != 14 { // 4 fixture + 10 posted
+		t.Errorf("docs = %v, want 14", out["docs"])
 	}
 }
 

@@ -1,0 +1,73 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// irregularVector builds a vector with weights of wildly different
+// magnitudes, so any change in float summation order is near-certain
+// to change the low bits of a reduction.
+func irregularVector(n int, scale float64) Vector {
+	v := New(n)
+	for i := 0; i < n; i++ {
+		v[feature(i)] = scale * math.Pow(1.37, float64(i%40)) / float64(i+1)
+	}
+	return v
+}
+
+func feature(i int) string { return fmt.Sprintf("f%03d", i) }
+
+// TestReductionsOrderCanonical pins the determinism contract of every
+// float reduction: repeated calls on the same vectors return bitwise
+// identical results even though Go randomizes map iteration order per
+// range loop. This is what makes the parallel enrichment pipeline's
+// reports byte-for-byte reproducible.
+func TestReductionsOrderCanonical(t *testing.T) {
+	a := irregularVector(300, 1)
+	b := irregularVector(300, 1e-7)
+	wantDot := a.Dot(b)
+	wantNorm := a.Norm()
+	wantL1 := a.L1Norm()
+	wantCos := a.Cosine(b)
+	wantJac := a.Jaccard(b)
+	for i := 0; i < 200; i++ {
+		if got := a.Dot(b); got != wantDot {
+			t.Fatalf("Dot drifted at call %d: %v != %v", i, got, wantDot)
+		}
+		if got := a.Norm(); got != wantNorm {
+			t.Fatalf("Norm drifted at call %d: %v != %v", i, got, wantNorm)
+		}
+		if got := a.L1Norm(); got != wantL1 {
+			t.Fatalf("L1Norm drifted at call %d: %v != %v", i, got, wantL1)
+		}
+		if got := a.Cosine(b); got != wantCos {
+			t.Fatalf("Cosine drifted at call %d: %v != %v", i, got, wantCos)
+		}
+		if got := a.Jaccard(b); got != wantJac {
+			t.Fatalf("Jaccard drifted at call %d: %v != %v", i, got, wantJac)
+		}
+	}
+}
+
+// TestReductionsInsertionOrderIndependent pins the same contract
+// across differently-built maps: the reduction must depend only on the
+// (feature, weight) multiset, not on how the map was populated.
+func TestReductionsInsertionOrderIndependent(t *testing.T) {
+	fwd := New(100)
+	rev := New(100)
+	for i := 0; i < 100; i++ {
+		fwd[feature(i)] = float64(i) * 0.1
+	}
+	for i := 99; i >= 0; i-- {
+		rev[feature(i)] = float64(i) * 0.1
+	}
+	probe := irregularVector(100, 1)
+	if fwd.Norm() != rev.Norm() {
+		t.Errorf("Norm depends on insertion order: %v != %v", fwd.Norm(), rev.Norm())
+	}
+	if fwd.Dot(probe) != rev.Dot(probe) {
+		t.Errorf("Dot depends on insertion order: %v != %v", fwd.Dot(probe), rev.Dot(probe))
+	}
+}

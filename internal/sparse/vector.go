@@ -53,38 +53,54 @@ func (v Vector) Scale(s float64) {
 	}
 }
 
+// detSum sums xs in ascending value order (sorting in place). Float
+// addition is not associative and Go randomizes map iteration, so an
+// unordered reduction leaks iteration order into the low bits of every
+// similarity — enough to flip sort ties and break the pipeline's
+// byte-for-byte reproducibility across runs and worker counts.
+// Sorting canonicalizes the order (equal multiset of terms → equal
+// sum); ascending magnitude is also the numerically kinder order.
+func detSum(xs []float64) float64 {
+	sort.Float64s(xs)
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
 // Dot returns the inner product of v and other. Iterates over the
-// smaller vector.
+// smaller vector; the reduction is order-canonical (see detSum).
 func (v Vector) Dot(other Vector) float64 {
 	a, b := v, other
 	if len(b) < len(a) {
 		a, b = b, a
 	}
-	var sum float64
+	terms := make([]float64, 0, len(a))
 	for k, w := range a {
 		if bw, ok := b[k]; ok {
-			sum += w * bw
+			terms = append(terms, w*bw)
 		}
 	}
-	return sum
+	return detSum(terms)
 }
 
 // Norm returns the Euclidean (L2) norm.
 func (v Vector) Norm() float64 {
-	var sum float64
+	terms := make([]float64, 0, len(v))
 	for _, w := range v {
-		sum += w * w
+		terms = append(terms, w*w)
 	}
-	return math.Sqrt(sum)
+	return math.Sqrt(detSum(terms))
 }
 
 // L1Norm returns the sum of absolute weights.
 func (v Vector) L1Norm() float64 {
-	var sum float64
+	terms := make([]float64, 0, len(v))
 	for _, w := range v {
-		sum += math.Abs(w)
+		terms = append(terms, math.Abs(w))
 	}
-	return sum
+	return detSum(terms)
 }
 
 // Normalize scales v to unit L2 norm in place. A zero vector is left
@@ -118,21 +134,23 @@ func (v Vector) Cosine(other Vector) float64 {
 // Jaccard returns the weighted Jaccard similarity
 // Σ min(v_i, o_i) / Σ max(v_i, o_i) for non-negative vectors.
 func (v Vector) Jaccard(other Vector) float64 {
-	var minSum, maxSum float64
+	mins := make([]float64, 0, len(v))
+	maxs := make([]float64, 0, len(v)+len(other))
 	for k, w := range v {
 		ow := other[k]
-		minSum += math.Min(w, ow)
-		maxSum += math.Max(w, ow)
+		mins = append(mins, math.Min(w, ow))
+		maxs = append(maxs, math.Max(w, ow))
 	}
 	for k, ow := range other {
 		if _, seen := v[k]; !seen {
-			maxSum += ow
+			maxs = append(maxs, ow)
 		}
 	}
+	maxSum := detSum(maxs)
 	if maxSum == 0 {
 		return 0
 	}
-	return minSum / maxSum
+	return detSum(mins) / maxSum
 }
 
 // Top returns the n highest-weighted features in descending weight
