@@ -19,10 +19,12 @@ test:
 	$(GO) test ./...
 
 # The race detector is the proof obligation for the enricher worker
-# pool and the linkage context-vector cache; these three packages are
-# where the concurrency lives, the rest ride along for free.
+# pool, the linkage context-vector cache, the obs metrics registry and
+# the server's lock discipline; these four packages are where the
+# concurrency lives, the rest ride along for free. CI
+# (.github/workflows/ci.yml) runs the same gate.
 race:
-	$(GO) test -race ./internal/core ./internal/server ./internal/linkage
+	$(GO) test -race ./internal/core ./internal/server ./internal/linkage ./internal/obs
 
 verify: build vet test race
 

@@ -6,60 +6,116 @@
 // Usage:
 //
 //	enrich -corpus data/corpus.json -ontology data/ontology.json \
-//	       [-top 20] [-measure lidf-value] [-apply -out enriched.json]
+//	       [-top 20] [-measure lidf-value] [-apply -out enriched.json] \
+//	       [-metrics] [-pprof cpu.out] [-log-level info]
+//
+// -metrics instruments the run and prints a per-step (I-IV) timing
+// summary after the report; -pprof writes a CPU profile of the run to
+// the given file for `go tool pprof`; -log-level enables structured
+// progress logging on stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
+	"runtime/pprof"
+	"time"
 
 	"bioenrich/internal/core"
 	"bioenrich/internal/corpus"
+	"bioenrich/internal/obs"
 	"bioenrich/internal/ontology"
 	"bioenrich/internal/termex"
 )
 
-func main() {
-	corpusPath := flag.String("corpus", "", "corpus JSON file (required)")
-	ontPath := flag.String("ontology", "", "ontology JSON file (required)")
-	measure := flag.String("measure", string(termex.LIDF), "step I ranking measure")
-	top := flag.Int("top", 20, "candidates to push through steps II-IV")
-	apply := flag.Bool("apply", false, "apply accepted proposals to the ontology")
-	relations := flag.Bool("relations", false, "also extract typed relations to the proposed anchors")
-	workers := flag.Int("workers", 0, "worker pool for steps II-IV (0 = all cores)")
-	out := flag.String("out", "enriched.json", "output path for the enriched ontology (with -apply)")
-	reportPath := flag.String("report", "", "write a Markdown curation report to this path")
-	flag.Parse()
+// options carries every flag into run, so tests drive the binary's
+// whole surface through one struct.
+type options struct {
+	corpusPath, ontPath string
+	measure             termex.Measure
+	top, workers        int
+	apply, relations    bool
+	out, reportPath     string
+	metrics             bool
+	pprofPath           string
+	logLevel            string
+}
 
-	if err := run(*corpusPath, *ontPath, termex.Measure(*measure), *top, *workers, *apply, *relations, *out, *reportPath); err != nil {
+func main() {
+	var o options
+	var measure string
+	flag.StringVar(&o.corpusPath, "corpus", "", "corpus JSON file (required)")
+	flag.StringVar(&o.ontPath, "ontology", "", "ontology JSON file (required)")
+	flag.StringVar(&measure, "measure", string(termex.LIDF), "step I ranking measure")
+	flag.IntVar(&o.top, "top", 20, "candidates to push through steps II-IV")
+	flag.BoolVar(&o.apply, "apply", false, "apply accepted proposals to the ontology")
+	flag.BoolVar(&o.relations, "relations", false, "also extract typed relations to the proposed anchors")
+	flag.IntVar(&o.workers, "workers", 0, "worker pool for steps II-IV (0 = all cores)")
+	flag.StringVar(&o.out, "out", "enriched.json", "output path for the enriched ontology (with -apply)")
+	flag.StringVar(&o.reportPath, "report", "", "write a Markdown curation report to this path")
+	flag.BoolVar(&o.metrics, "metrics", false, "instrument the pipeline and print a per-step timing summary")
+	flag.StringVar(&o.pprofPath, "pprof", "", "write a CPU profile of the run to this file")
+	flag.StringVar(&o.logLevel, "log-level", "", "structured progress logging on stderr: debug|info|warn|error (empty = off)")
+	flag.Parse()
+	o.measure = termex.Measure(measure)
+
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "enrich:", err)
 		os.Exit(1)
 	}
 }
 
-func run(corpusPath, ontPath string, measure termex.Measure, top, workers int, apply, relations bool, out, reportPath string) error {
-	if corpusPath == "" || ontPath == "" {
+func run(o options) error {
+	if o.corpusPath == "" || o.ontPath == "" {
 		return fmt.Errorf("-corpus and -ontology are required (generate with gencorpus)")
 	}
-	c, err := corpus.Load(corpusPath)
+	c, err := corpus.Load(o.corpusPath)
 	if err != nil {
 		return err
 	}
-	o, err := ontology.Load(ontPath)
+	ont, err := ontology.Load(o.ontPath)
 	if err != nil {
 		return err
 	}
 	cfg := core.DefaultConfig()
-	cfg.Measure = measure
-	cfg.TopCandidates = top
-	cfg.Workers = workers
-	cfg.ExtractRelations = relations
-	enricher := core.NewEnricher(c, o, cfg)
+	cfg.Measure = o.measure
+	cfg.TopCandidates = o.top
+	cfg.Workers = o.workers
+	cfg.ExtractRelations = o.relations
+	if o.logLevel != "" {
+		level, err := obs.ParseLevel(o.logLevel)
+		if err != nil {
+			return err
+		}
+		cfg.Log = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	}
+	var reg *obs.Registry
+	if o.metrics {
+		reg = obs.New()
+		cfg.Obs = reg
+	}
+	if o.pprofPath != "" {
+		f, err := os.Create(o.pprofPath)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("wrote CPU profile to %s\n", o.pprofPath)
+		}()
+	}
+	enricher := core.NewEnricher(c, ont, cfg)
 
 	// Train step II from the ontology's own polysemy ground truth when
 	// it has enough labelled terms of both classes.
-	poly, mono := o.PolysemicTerms(), o.MonosemicTerms()
+	poly, mono := ont.PolysemicTerms(), ont.MonosemicTerms()
 	poly, mono = inCorpus(c, poly, 40), inCorpus(c, mono, 40)
 	if len(poly) >= 5 && len(mono) >= 5 {
 		if err := enricher.TrainPolysemy(poly, mono); err != nil {
@@ -96,8 +152,11 @@ func run(corpusPath, ontPath string, measure termex.Measure, top, workers int, a
 			fmt.Printf("    relation: %s\n", rel)
 		}
 	}
-	if reportPath != "" {
-		f, err := os.Create(reportPath)
+	if reg != nil {
+		printTimings(reg)
+	}
+	if o.reportPath != "" {
+		f, err := os.Create(o.reportPath)
 		if err != nil {
 			return err
 		}
@@ -108,9 +167,9 @@ func run(corpusPath, ontPath string, measure termex.Measure, top, workers int, a
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("wrote curation report to %s\n", reportPath)
+		fmt.Printf("wrote curation report to %s\n", o.reportPath)
 	}
-	if !apply {
+	if !o.apply {
 		return nil
 	}
 	applied, err := enricher.Apply(report, core.DefaultPolicy())
@@ -124,12 +183,30 @@ func run(corpusPath, ontPath string, measure termex.Measure, top, workers int, a
 		}
 		fmt.Printf("applied: %q as %s %s\n", a.Term, how, a.Anchor)
 	}
-	if err := o.Save(out); err != nil {
+	if err := ont.Save(o.out); err != nil {
 		return err
 	}
 	fmt.Printf("wrote enriched ontology to %s (%d concepts, %d terms)\n",
-		out, o.NumConcepts(), o.NumTerms())
+		o.out, ont.NumConcepts(), ont.NumTerms())
 	return nil
+}
+
+// printTimings renders the per-step span summary of the run. Batch
+// spans (steps II-IV) report summed busy time across workers, so on
+// a multi-core run the step columns can exceed the wall clock.
+func printTimings(reg *obs.Registry) {
+	sums := reg.SpanSummaries()
+	if len(sums) == 0 {
+		return
+	}
+	fmt.Println("per-step timings (steps II-IV are summed worker busy time):")
+	for _, s := range sums {
+		line := fmt.Sprintf("  %-16s %dx  total=%s", s.Name, s.Count, s.Total.Round(time.Microsecond))
+		if s.Batches > 0 {
+			line += fmt.Sprintf("  batches=%d", s.Batches)
+		}
+		fmt.Println(line)
+	}
 }
 
 // inCorpus filters terms that actually occur in the corpus, capped.

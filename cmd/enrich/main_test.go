@@ -54,7 +54,12 @@ func TestRunEndToEnd(t *testing.T) {
 	corpPath, ontPath, dir := writeFixtures(t)
 	out := filepath.Join(dir, "enriched.json")
 	report := filepath.Join(dir, "report.md")
-	if err := run(corpPath, ontPath, termex.LIDF, 10, 2, true, true, out, report); err != nil {
+	err := run(options{
+		corpusPath: corpPath, ontPath: ontPath, measure: termex.LIDF,
+		top: 10, workers: 2, apply: true, relations: true,
+		out: out, reportPath: report,
+	})
+	if err != nil {
 		t.Fatal(err)
 	}
 	enriched, err := ontology.Load(out)
@@ -73,12 +78,34 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 }
 
+// TestRunWithMetricsAndProfile drives the observability flags: the
+// run succeeds with instrumentation plus CPU profiling enabled, and
+// the profile file lands on disk non-empty.
+func TestRunWithMetricsAndProfile(t *testing.T) {
+	corpPath, ontPath, dir := writeFixtures(t)
+	profile := filepath.Join(dir, "cpu.out")
+	err := run(options{
+		corpusPath: corpPath, ontPath: ontPath, measure: termex.LIDF,
+		top: 5, metrics: true, pprofPath: profile, logLevel: "warn",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// StopCPUProfile runs in run's defer, so the file is complete here.
+	if fi, err := os.Stat(profile); err != nil || fi.Size() == 0 {
+		t.Errorf("CPU profile not written: %v", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", termex.LIDF, 5, 0, false, false, "", ""); err == nil {
+	if err := run(options{measure: termex.LIDF, top: 5}); err == nil {
 		t.Error("missing args accepted")
 	}
 	corpPath, ontPath, _ := writeFixtures(t)
-	if err := run(corpPath, ontPath, "bogus", 5, 0, false, false, "", ""); err == nil {
+	if err := run(options{corpusPath: corpPath, ontPath: ontPath, measure: "bogus", top: 5}); err == nil {
 		t.Error("bad measure accepted")
+	}
+	if err := run(options{corpusPath: corpPath, ontPath: ontPath, measure: termex.LIDF, top: 5, logLevel: "loud"}); err == nil {
+		t.Error("bad log level accepted")
 	}
 }

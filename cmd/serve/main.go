@@ -5,12 +5,21 @@
 // Usage:
 //
 //	serve -corpus data/corpus.json -ontology data/ontology.json \
-//	      [-addr :8080] [-workers N] [-shutdown-timeout 10s]
+//	      [-addr :8080] [-workers N] [-shutdown-timeout 10s] \
+//	      [-metrics=true] [-pprof] [-log-level info] [-max-body 8388608]
 //
 // The server is configured with conservative read/write timeouts so a
 // slow or stalled client cannot pin a connection forever, and shuts
 // down gracefully on SIGINT/SIGTERM: in-flight requests get up to
 // -shutdown-timeout to complete before the process exits.
+//
+// Observability: -metrics (on by default) serves the Prometheus
+// exposition at GET /metrics — per-endpoint request counts and
+// latency histograms, plus per-step pipeline durations once /enrich
+// has run. -pprof additionally mounts net/http/pprof under
+// /debug/pprof/ (off by default: it is a profiling surface).
+// -log-level gates the structured (log/slog) access log; "warn" or
+// higher silences per-request lines.
 //
 // See internal/server for the endpoint list.
 package main
@@ -20,7 +29,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -29,6 +38,7 @@ import (
 
 	"bioenrich/internal/core"
 	"bioenrich/internal/corpus"
+	"bioenrich/internal/obs"
 	"bioenrich/internal/ontology"
 	"bioenrich/internal/server"
 )
@@ -41,7 +51,19 @@ func main() {
 	readTimeout := flag.Duration("read-timeout", 30*time.Second, "max duration for reading a request")
 	writeTimeout := flag.Duration("write-timeout", 5*time.Minute, "max duration for writing a response (enrich runs are slow)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
+	metrics := flag.Bool("metrics", true, "serve Prometheus metrics at GET /metrics")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error (info logs every request)")
+	maxBody := flag.Int64("max-body", 0, "POST body cap in bytes (0 = default 8 MiB, negative = unlimited)")
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
 
 	if *corpusPath == "" || *ontPath == "" {
 		fmt.Fprintln(os.Stderr, "serve: -corpus and -ontology are required")
@@ -49,18 +71,27 @@ func main() {
 	}
 	c, err := corpus.Load(*corpusPath)
 	if err != nil {
-		log.Fatalf("serve: %v", err)
+		fatal(logger, "load corpus", err)
 	}
 	o, err := ontology.Load(*ontPath)
 	if err != nil {
-		log.Fatalf("serve: %v", err)
+		fatal(logger, "load ontology", err)
 	}
 	cfg := core.DefaultConfig()
 	cfg.Workers = *workers
 
+	opts := server.Options{
+		Pprof:        *pprofFlag,
+		MaxBodyBytes: *maxBody,
+		AccessLog:    logger,
+	}
+	if *metrics {
+		opts.Obs = obs.New()
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.NewWithConfig(c, o, cfg).Handler(),
+		Handler:           server.NewWithOptions(c, o, cfg, opts).Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       *readTimeout,
 		WriteTimeout:      *writeTimeout,
@@ -72,26 +103,33 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("serving %d docs / %d concepts on %s (workers=%d)",
-			c.NumDocs(), o.NumConcepts(), *addr, *workers)
+		logger.Info("serving",
+			"docs", c.NumDocs(), "concepts", o.NumConcepts(),
+			"addr", *addr, "workers", *workers,
+			"metrics", *metrics, "pprof", *pprofFlag)
 		errc <- srv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errc:
 		// ListenAndServe never returns nil; any return here is fatal.
-		log.Fatalf("serve: %v", err)
+		fatal(logger, "listen", err)
 	case <-ctx.Done():
 		stop() // restore default signal handling: a second ^C kills immediately
-		log.Printf("serve: signal received, draining for up to %s", *shutdownTimeout)
+		logger.Info("signal received, draining", "grace", *shutdownTimeout)
 		shCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 		defer cancel()
 		if err := srv.Shutdown(shCtx); err != nil {
-			log.Fatalf("serve: shutdown: %v", err)
+			fatal(logger, "shutdown", err)
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("serve: %v", err)
+			fatal(logger, "serve", err)
 		}
-		log.Print("serve: stopped cleanly")
+		logger.Info("stopped cleanly")
 	}
+}
+
+func fatal(logger *slog.Logger, what string, err error) {
+	logger.Error(what, "err", err)
+	os.Exit(1)
 }

@@ -12,15 +12,19 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"runtime"
+	"strconv"
 	"sync"
+	"time"
 
 	"bioenrich/internal/cluster"
 	"bioenrich/internal/corpus"
 	"bioenrich/internal/linkage"
 	"bioenrich/internal/ml"
+	"bioenrich/internal/obs"
 	"bioenrich/internal/ontology"
 	"bioenrich/internal/polysemy"
 	"bioenrich/internal/relext"
@@ -73,6 +77,14 @@ type Config struct {
 	// Log, when non-nil, receives structured progress events from Run,
 	// TrainPolysemy and RunRounds.
 	Log *slog.Logger
+
+	// Obs, when non-nil, receives pipeline metrics and spans: one span
+	// per step I–IV per Run (steps II–IV accumulate per-candidate busy
+	// time across workers), worker-pool queued/active/busy metrics, and
+	// the linkage context-vector cache hit/miss counters. nil — the
+	// default — disables instrumentation; the report is identical
+	// either way.
+	Obs *obs.Registry
 }
 
 // DefaultConfig mirrors the paper's best-performing choices: LIDF-value
@@ -209,10 +221,14 @@ func (e *Enricher) IsPolysemic(c *corpus.Corpus, term string) bool {
 // worker writes into its candidate's pre-assigned slot, and clustering
 // seeds derive from the slot index rather than scheduling order.
 func (e *Enricher) Run() (*Report, error) {
+	ctx, runSpan := e.cfg.Obs.StartSpan(context.Background(), "enrich.run")
+	defer runSpan.End()
+	_, sp1 := e.cfg.Obs.StartSpan(ctx, "step1.extract")
 	ext := termex.NewExtractor(e.c)
 	ext.LearnPatterns(e.o.Terms()) // LIDF pattern model from the ontology
 	ranked, err := ext.Rank(e.cfg.Measure, 0)
 	if err != nil {
+		sp1.End()
 		return nil, fmt.Errorf("core: step I: %w", err)
 	}
 	if e.cfg.Log != nil {
@@ -247,25 +263,52 @@ func (e *Enricher) Run() (*Report, error) {
 		report.Candidates = append(report.Candidates,
 			Candidate{Term: st.Term, Score: st.Score})
 	}
+	sp1.End()
+
+	// Steps II–IV get one span each per Run. They interleave per
+	// candidate across the pool, so each span accumulates its step's
+	// per-candidate busy time (AddBatch) rather than wall clock.
+	_, sp2 := e.cfg.Obs.StartSpan(ctx, "step2.polysemy")
+	_, sp3 := e.cfg.Obs.StartSpan(ctx, "step3.senseind")
+	_, sp4 := e.cfg.Obs.StartSpan(ctx, "step4.linkage")
+	defer func() { sp2.End(); sp3.End(); sp4.End() }()
+	spans := stepSpans{s2: sp2, s3: sp3, s4: sp4}
 
 	// Fan-out pass: one linker for the whole run (its context-vector
 	// cache is shared, concurrency-safe, and saves repeated corpus
 	// scans for pool terms common across candidates), one inducer
 	// template whose seed is re-derived per slot.
-	linker := linkage.New(e.c, e.o, e.cfg.Link)
+	lopts := e.cfg.Link
+	if lopts.Obs == nil {
+		lopts.Obs = e.cfg.Obs
+	}
+	linker := linkage.New(e.c, e.o, lopts)
 	inducer := senseind.Inducer{
 		Algorithm:      e.cfg.Algorithm,
 		Index:          e.cfg.Index,
 		Representation: e.cfg.Representation,
 		Window:         senseind.DefaultWindow,
 	}
+	e.cfg.Obs.Counter("bioenrich_pool_tasks_queued_total").Add(float64(len(work)))
+	active := e.cfg.Obs.Gauge("bioenrich_pool_tasks_active")
+	timed := e.cfg.Obs != nil
 	workers := e.cfg.workers()
 	if workers > len(work) {
 		workers = len(work)
 	}
 	if workers <= 1 {
+		busy := e.cfg.Obs.Counter("bioenrich_pool_worker_busy_seconds_total", "worker", "0")
 		for _, slot := range work {
-			e.enrichCandidate(&report.Candidates[slot], linker, inducer, int64(slot))
+			active.Add(1)
+			var start time.Time
+			if timed {
+				start = time.Now()
+			}
+			e.enrichCandidate(&report.Candidates[slot], linker, inducer, int64(slot), spans)
+			if timed {
+				busy.Add(time.Since(start).Seconds())
+			}
+			active.Add(-1)
 		}
 		return report, nil
 	}
@@ -273,12 +316,22 @@ func (e *Enricher) Run() (*Report, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			busy := e.cfg.Obs.Counter("bioenrich_pool_worker_busy_seconds_total", "worker", strconv.Itoa(w))
 			for slot := range slots {
-				e.enrichCandidate(&report.Candidates[slot], linker, inducer, int64(slot))
+				active.Add(1)
+				var start time.Time
+				if timed {
+					start = time.Now()
+				}
+				e.enrichCandidate(&report.Candidates[slot], linker, inducer, int64(slot), spans)
+				if timed {
+					busy.Add(time.Since(start).Seconds())
+				}
+				active.Add(-1)
 			}
-		}()
+		}(w)
 	}
 	for _, slot := range work {
 		slots <- slot
@@ -288,14 +341,31 @@ func (e *Enricher) Run() (*Report, error) {
 	return report, nil
 }
 
+// stepSpans carries the per-step batch spans of one Run into the
+// worker pool. All-nil when observability is disabled.
+type stepSpans struct {
+	s2, s3, s4 *obs.Span
+}
+
 // enrichCandidate runs steps II–IV (and the relation extension) for
 // one pre-selected candidate, writing the outcome in place. Safe to
 // call concurrently for distinct candidates: it only reads the corpus,
 // ontology and detector, and the linker's cache is concurrency-safe.
-func (e *Enricher) enrichCandidate(cand *Candidate, linker *linkage.Linker, inducer senseind.Inducer, slot int64) {
+func (e *Enricher) enrichCandidate(cand *Candidate, linker *linkage.Linker, inducer senseind.Inducer, slot int64, spans stepSpans) {
+	timed := spans.s2 != nil
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
+
 	// Step II: polysemy prediction.
 	if e.detector != nil {
 		cand.Polysemic = e.detector.IsPolysemic(e.c, cand.Term)
+	}
+	if timed {
+		t1 := time.Now()
+		spans.s2.AddBatch(t1.Sub(t0))
+		t0 = t1
 	}
 
 	// Step III: sense induction (k = 1 for monosemic candidates). The
@@ -305,10 +375,18 @@ func (e *Enricher) enrichCandidate(cand *Candidate, linker *linkage.Linker, indu
 	if senses, err := inducer.WithSeed(e.cfg.Seed + slot).Induce(e.c, cand.Term, cand.Polysemic); err == nil {
 		cand.Senses = senses
 	}
+	if timed {
+		t1 := time.Now()
+		spans.s3.AddBatch(t1.Sub(t0))
+		t0 = t1
+	}
 
 	// Step IV: position proposals.
 	if props, err := linker.Propose(cand.Term, e.cfg.TopPositions); err == nil {
 		cand.Positions = props
+	}
+	if timed {
+		spans.s4.AddBatch(time.Since(t0))
 	}
 
 	// Future-work extension: typed relations between the candidate

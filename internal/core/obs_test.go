@@ -1,0 +1,124 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"bioenrich/internal/obs"
+)
+
+// TestRunEmitsOneSpanPerStep: a single Run produces exactly one
+// completed span for each of steps I–IV (plus the enclosing
+// enrich.run), and the batch spans II–IV saw one batch per worked
+// candidate.
+func TestRunEmitsOneSpanPerStep(t *testing.T) {
+	c, o := pipelineFixture()
+	reg := obs.New()
+	cfg := DefaultConfig()
+	cfg.Obs = reg
+	report, err := NewEnricher(c, o, cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	worked := 0
+	for _, cand := range report.Candidates {
+		if !cand.Known {
+			worked++
+		}
+	}
+
+	got := map[string]obs.SpanSummary{}
+	for _, s := range reg.SpanSummaries() {
+		got[s.Name] = s
+	}
+	for _, name := range []string{"enrich.run", "step1.extract", "step2.polysemy", "step3.senseind", "step4.linkage"} {
+		s, ok := got[name]
+		if !ok {
+			t.Errorf("no span %q recorded", name)
+			continue
+		}
+		if s.Count != 1 {
+			t.Errorf("span %q emitted %d times, want exactly 1 per Run", name, s.Count)
+		}
+	}
+	for _, name := range []string{"step2.polysemy", "step3.senseind", "step4.linkage"} {
+		if b := got[name].Batches; b != int64(worked) {
+			t.Errorf("span %q saw %d batches, want one per worked candidate (%d)", name, b, worked)
+		}
+	}
+	for _, name := range []string{"step1.extract", "step2.polysemy", "step3.senseind", "step4.linkage"} {
+		if got[name].Parent != "enrich.run" {
+			t.Errorf("span %q parent = %q, want enrich.run", name, got[name].Parent)
+		}
+	}
+
+	// A second Run increments every step span count by exactly one.
+	if _, err := NewEnricher(c, o, cfg).Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range reg.SpanSummaries() {
+		if strings.HasPrefix(s.Name, "step") && s.Count != 2 {
+			t.Errorf("span %q count after two Runs = %d, want 2", s.Name, s.Count)
+		}
+	}
+}
+
+// TestRunObsPoolAndCacheMetrics: the worker pool and linkage cache
+// actually report through Config.Obs.
+func TestRunObsPoolAndCacheMetrics(t *testing.T) {
+	c, o := pipelineFixture()
+	reg := obs.New()
+	cfg := DefaultConfig()
+	cfg.Obs = reg
+	cfg.Workers = 2
+	report, err := NewEnricher(c, o, cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	worked := 0
+	for _, cand := range report.Candidates {
+		if !cand.Known {
+			worked++
+		}
+	}
+	if got := reg.Counter("bioenrich_pool_tasks_queued_total").Value(); got != float64(worked) {
+		t.Errorf("queued = %v, want %d", got, worked)
+	}
+	if got := reg.Gauge("bioenrich_pool_tasks_active").Value(); got != 0 {
+		t.Errorf("active after Run = %v, want 0", got)
+	}
+	hits := reg.Counter("bioenrich_linkage_cache_hits_total").Value()
+	misses := reg.Counter("bioenrich_linkage_cache_misses_total").Value()
+	if misses == 0 {
+		t.Error("linkage cache recorded no misses despite fresh linker")
+	}
+	if hits == 0 {
+		t.Error("linkage cache recorded no hits despite shared pool terms")
+	}
+}
+
+// TestRunReportIdenticalWithObs: instrumentation must not perturb the
+// pipeline — the report with a live registry is byte-for-byte the
+// report without one.
+func TestRunReportIdenticalWithObs(t *testing.T) {
+	c, o := pipelineFixture()
+	run := func(reg *obs.Registry) []byte {
+		cfg := DefaultConfig()
+		cfg.Obs = reg
+		report, err := NewEnricher(c, o, cfg).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	plain := run(nil)
+	instrumented := run(obs.New())
+	if string(plain) != string(instrumented) {
+		t.Error("enabling observability changed the report")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 )
@@ -34,10 +35,14 @@ func (e *Enricher) RunRounds(rounds int, policy AttachPolicy) ([]RoundReport, er
 		if err != nil {
 			return out, fmt.Errorf("core: round %d: %w", r, err)
 		}
+		_, apSpan := e.cfg.Obs.StartSpan(context.Background(), "enrich.apply")
 		applied, err := e.Apply(report, policy)
+		apSpan.End()
 		if err != nil {
 			return out, fmt.Errorf("core: round %d apply: %w", r, err)
 		}
+		e.cfg.Obs.Counter("bioenrich_rounds_total").Inc()
+		e.cfg.Obs.Counter("bioenrich_applied_total").Add(float64(len(applied)))
 		if e.cfg.Log != nil {
 			e.cfg.Log.Info("enrichment round complete",
 				"round", r,

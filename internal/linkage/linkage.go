@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"bioenrich/internal/corpus"
+	"bioenrich/internal/obs"
 	"bioenrich/internal/ontology"
 	"bioenrich/internal/sparse"
 	"bioenrich/internal/textutil"
@@ -49,6 +50,10 @@ type Options struct {
 	// context cosine with structural coherence (see CoherenceRerank).
 	// 0 (the default, and the paper's method) disables re-ranking.
 	CoherenceLambda float64
+	// Obs, when non-nil, counts context-vector cache hits and misses
+	// (bioenrich_linkage_cache_{hits,misses}_total). nil disables the
+	// counters at zero cost.
+	Obs *obs.Registry
 }
 
 // DefaultOptions mirrors the paper's setup.
@@ -79,14 +84,24 @@ type Linker struct {
 	// at opts.ContextWindow). Cached vectors are shared and must be
 	// treated as read-only.
 	vecs sync.Map
+
+	// cacheHits/cacheMisses are resolved once at construction so the
+	// contextVector hot path pays only a nil check when disabled.
+	cacheHits, cacheMisses *obs.Counter
 }
 
 // New builds a linker over a corpus and the target ontology.
 func New(c *corpus.Corpus, o *ontology.Ontology, opts Options) *Linker {
 	if opts.ContextWindow == 0 {
+		reg := opts.Obs
 		opts = DefaultOptions()
+		opts.Obs = reg
 	}
-	return &Linker{c: c, o: o, opts: opts}
+	return &Linker{
+		c: c, o: o, opts: opts,
+		cacheHits:   opts.Obs.Counter("bioenrich_linkage_cache_hits_total"),
+		cacheMisses: opts.Obs.Counter("bioenrich_linkage_cache_misses_total"),
+	}
 }
 
 // contextVector returns the term's aggregated context vector, reading
@@ -96,8 +111,10 @@ func New(c *corpus.Corpus, o *ontology.Ontology, opts Options) *Linker {
 // recompute.
 func (l *Linker) contextVector(term string) sparse.Vector {
 	if v, ok := l.vecs.Load(term); ok {
+		l.cacheHits.Inc()
 		return v.(sparse.Vector)
 	}
+	l.cacheMisses.Inc()
 	v := l.c.ContextVector(term, l.opts.ContextWindow)
 	actual, _ := l.vecs.LoadOrStore(term, v)
 	return actual.(sparse.Vector)

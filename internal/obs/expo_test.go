@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestExpositionGolden pins the full exposition byte-for-byte:
+// families sorted by name, series by label signature, label keys
+// canonicalized, histogram buckets cumulative with an +Inf bucket.
+func TestExpositionGolden(t *testing.T) {
+	r := New()
+	r.Counter("bioenrich_http_requests_total",
+		"endpoint", "GET /health", "method", "GET", "status", "200").Add(3)
+	r.Counter("bioenrich_http_requests_total",
+		"endpoint", "POST /enrich", "method", "POST", "status", "200").Inc()
+	r.Gauge("bioenrich_http_in_flight").Set(1)
+	h := r.Histogram("bioenrich_http_request_seconds", []float64{0.01, 0.1, 1}, "endpoint", "GET /health")
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(5)
+	r.Counter("bioenrich_linkage_cache_hits_total").Add(42)
+
+	var b strings.Builder
+	n, err := r.WriteTo(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `# TYPE bioenrich_http_in_flight gauge
+bioenrich_http_in_flight 1
+# TYPE bioenrich_http_request_seconds histogram
+bioenrich_http_request_seconds_bucket{endpoint="GET /health",le="0.01"} 1
+bioenrich_http_request_seconds_bucket{endpoint="GET /health",le="0.1"} 3
+bioenrich_http_request_seconds_bucket{endpoint="GET /health",le="1"} 3
+bioenrich_http_request_seconds_bucket{endpoint="GET /health",le="+Inf"} 4
+bioenrich_http_request_seconds_sum{endpoint="GET /health"} 5.105
+bioenrich_http_request_seconds_count{endpoint="GET /health"} 4
+# TYPE bioenrich_http_requests_total counter
+bioenrich_http_requests_total{endpoint="GET /health",method="GET",status="200"} 3
+bioenrich_http_requests_total{endpoint="POST /enrich",method="POST",status="200"} 1
+# TYPE bioenrich_linkage_cache_hits_total counter
+bioenrich_linkage_cache_hits_total 42
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if n != int64(b.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, b.Len())
+	}
+}
+
+// TestExpositionDeterministic: two registries populated in opposite
+// orders expose identical bytes.
+func TestExpositionDeterministic(t *testing.T) {
+	build := func(reverse bool) string {
+		r := New()
+		ops := []func(){
+			func() { r.Counter("a_total", "k", "1").Inc() },
+			func() { r.Counter("a_total", "k", "2").Inc() },
+			func() { r.Gauge("b").Set(2) },
+			func() { r.Histogram("c", []float64{1}).Observe(0.5) },
+		}
+		if reverse {
+			for i := len(ops) - 1; i >= 0; i-- {
+				ops[i]()
+			}
+		} else {
+			for _, op := range ops {
+				op()
+			}
+		}
+		var b strings.Builder
+		if _, err := r.WriteTo(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if a, b := build(false), build(true); a != b {
+		t.Errorf("registration order changed the exposition:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := New()
+	r.Counter("up_total").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "up_total 1") {
+		t.Errorf("body = %q", rec.Body.String())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := New()
+	r.Counter("esc_total", "q", `say "hi"\`+"\n").Inc()
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{q="say \"hi\"\\\n"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("exposition %q missing %q", b.String(), want)
+	}
+}

@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := New()
+	c := r.Counter("hits_total")
+	const goroutines, perG = 16, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Errorf("counter = %v, want %d", got, goroutines*perG)
+	}
+	// Counters never decrease.
+	c.Add(-5)
+	if got := c.Value(); got != goroutines*perG {
+		t.Errorf("counter after negative Add = %v", got)
+	}
+}
+
+func TestCounterIdentity(t *testing.T) {
+	r := New()
+	a := r.Counter("x_total", "path", "/a", "method", "GET")
+	b := r.Counter("x_total", "method", "GET", "path", "/a") // order-independent
+	if a != b {
+		t.Error("same identity returned distinct handles")
+	}
+	other := r.Counter("x_total", "path", "/b", "method", "GET")
+	if a == other {
+		t.Error("distinct labels returned the same handle")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := New()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m")
+}
+
+func TestGauge(t *testing.T) {
+	r := New()
+	g := r.Gauge("in_flight")
+	g.Add(3)
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Errorf("gauge = %v, want 2", got)
+	}
+	g.Set(7.5)
+	if got := g.Value(); got != 7.5 {
+		t.Errorf("gauge = %v, want 7.5", got)
+	}
+}
+
+// TestHistogramBuckets pins the upper-bound semantics: a value equal
+// to a bound lands in that bound's bucket; values beyond the last
+// bound land in +Inf.
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", []float64{0.1, 0.5, 1})
+	for _, v := range []float64{0.05, 0.1, 0.3, 0.5, 0.9, 1, 2} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 2, 2, 1} // (-Inf,0.1], (0.1,0.5], (0.5,1], (1,+Inf)
+	got := h.BucketCounts()
+	if len(got) != len(want) {
+		t.Fatalf("buckets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 7 {
+		t.Errorf("count = %d, want 7", h.Count())
+	}
+	if sum := h.Sum(); sum < 4.84 || sum > 4.86 {
+		t.Errorf("sum = %v, want 4.85", sum)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", []float64{1, 2})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(float64(g % 3))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Errorf("count = %d, want 4000", h.Count())
+	}
+}
+
+// TestNilRegistry proves the disabled path: every call on a nil
+// registry and its nil handles is a silent no-op.
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Inc()
+	r.Counter("c").Add(2)
+	r.Gauge("g").Set(1)
+	r.Gauge("g").Add(-1)
+	r.Histogram("h", nil).Observe(0.5)
+	ctx, sp := r.StartSpan(context.Background(), "noop")
+	if sp != nil {
+		t.Error("nil registry returned a live span")
+	}
+	sp.AddBatch(time.Second)
+	sp.End()
+	if ctx == nil {
+		t.Error("nil registry dropped the context")
+	}
+	if got := r.SpanSummaries(); got != nil {
+		t.Errorf("nil registry has summaries: %v", got)
+	}
+	if n, err := r.WriteTo(nil); n != 0 || err != nil {
+		t.Errorf("nil WriteTo = (%d, %v)", n, err)
+	}
+}
+
+func TestSpanWallClock(t *testing.T) {
+	r := New()
+	_, sp := r.StartSpan(context.Background(), "step1.extract")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	sp.End() // idempotent
+	sums := r.SpanSummaries()
+	if len(sums) != 1 || sums[0].Name != "step1.extract" {
+		t.Fatalf("summaries = %v", sums)
+	}
+	if sums[0].Count != 1 || sums[0].Total <= 0 {
+		t.Errorf("summary = %+v", sums[0])
+	}
+	if h := r.Histogram(SpanMetric, nil, "span", "step1.extract"); h.Count() != 1 {
+		t.Errorf("span histogram count = %d, want 1", h.Count())
+	}
+}
+
+func TestSpanBatches(t *testing.T) {
+	r := New()
+	_, sp := r.StartSpan(context.Background(), "step3.senseind")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				sp.AddBatch(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	sp.End()
+	sums := r.SpanSummaries()
+	if len(sums) != 1 {
+		t.Fatalf("summaries = %v", sums)
+	}
+	s := sums[0]
+	if s.Batches != 40 {
+		t.Errorf("batches = %d, want 40", s.Batches)
+	}
+	if s.Total != 40*time.Millisecond {
+		t.Errorf("total = %v, want 40ms (busy time, not wall clock)", s.Total)
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	r := New()
+	ctx, parent := r.StartSpan(context.Background(), "enrich.run")
+	_, child := r.StartSpan(ctx, "step4.linkage")
+	child.End()
+	parent.End()
+	for _, s := range r.SpanSummaries() {
+		if s.Name == "step4.linkage" && s.Parent != "enrich.run" {
+			t.Errorf("child parent = %q, want enrich.run", s.Parent)
+		}
+		if s.Name == "enrich.run" && s.Parent != "" {
+			t.Errorf("root parent = %q, want empty", s.Parent)
+		}
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo,
+		"WARN": slog.LevelWarn, "error": slog.LevelError, "": slog.LevelInfo,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = (%v, %v), want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("bad level accepted")
+	}
+}

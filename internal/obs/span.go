@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"context"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// SpanMetric is the histogram every completed span observes into,
+// labelled span=<name> — this is how per-step pipeline durations
+// reach /metrics.
+const SpanMetric = "bioenrich_span_seconds"
+
+type spanCtxKey struct{}
+
+// Span measures one named region of work. By default it measures
+// wall time from StartSpan to End. A span that fans work out across
+// workers instead accumulates per-batch busy time with AddBatch; End
+// then records the accumulated total (the cross-worker busy time of
+// the step) rather than the wall clock. All methods are no-ops on a
+// nil receiver, so call sites never guard.
+type Span struct {
+	reg     *Registry
+	name    string
+	parent  string
+	start   time.Time
+	batchNS atomic.Int64
+	batches atomic.Int64
+	ended   atomic.Bool
+}
+
+// StartSpan opens a span and returns a context carrying it, so
+// nested StartSpan calls record their parent. A nil registry returns
+// (ctx, nil) — the nil span swallows AddBatch and End.
+func (r *Registry) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if r == nil {
+		return ctx, nil
+	}
+	s := &Span{reg: r, name: name, start: time.Now()}
+	if p, ok := ctx.Value(spanCtxKey{}).(*Span); ok && p != nil {
+		s.parent = p.name
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// AddBatch accumulates one batch's busy duration into the span,
+// marking it as a batch (busy-time) span. Safe to call concurrently
+// from many workers.
+func (s *Span) AddBatch(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.batchNS.Add(int64(d))
+	s.batches.Add(1)
+}
+
+// End closes the span, recording its duration into the registry's
+// SpanMetric histogram and span summaries. Idempotent: only the
+// first End records.
+func (s *Span) End() {
+	if s == nil || !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	d := time.Since(s.start)
+	batches := s.batches.Load()
+	if batches > 0 {
+		d = time.Duration(s.batchNS.Load())
+	}
+	s.reg.Histogram(SpanMetric, nil, "span", s.name).Observe(d.Seconds())
+	s.reg.recordSpan(s.name, s.parent, d, batches)
+}
+
+// spanStat aggregates completed spans per name.
+type spanStat struct {
+	parent  string
+	count   int64
+	total   time.Duration
+	batches int64
+}
+
+func (r *Registry) recordSpan(name, parent string, d time.Duration, batches int64) {
+	r.spanMu.Lock()
+	defer r.spanMu.Unlock()
+	st, ok := r.spans[name]
+	if !ok {
+		st = &spanStat{parent: parent}
+		r.spans[name] = st
+	}
+	st.count++
+	st.total += d
+	st.batches += batches
+}
+
+// SpanSummary is the aggregate of every completed span sharing a
+// name.
+type SpanSummary struct {
+	Name    string
+	Parent  string        // name of the enclosing span at first record, "" at root
+	Count   int64         // completed spans
+	Total   time.Duration // summed durations (busy time for batch spans)
+	Batches int64         // AddBatch calls across all spans of this name
+}
+
+// Mean is Total/Count (0 when no spans completed).
+func (s SpanSummary) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Count)
+}
+
+// SpanSummaries returns the per-name aggregates sorted by name. Nil
+// registries return nil.
+func (r *Registry) SpanSummaries() []SpanSummary {
+	if r == nil {
+		return nil
+	}
+	r.spanMu.Lock()
+	defer r.spanMu.Unlock()
+	out := make([]SpanSummary, 0, len(r.spans))
+	for name, st := range r.spans {
+		out = append(out, SpanSummary{
+			Name: name, Parent: st.parent,
+			Count: st.count, Total: st.total, Batches: st.batches,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"bioenrich/internal/obs"
+)
+
+// statusRecorder captures the status code and body size a handler
+// writes, for the request counter's status label and the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	n, err := sr.ResponseWriter.Write(b)
+	sr.bytes += int64(n)
+	return n, err
+}
+
+func (sr *statusRecorder) statusCode() int {
+	if sr.status == 0 {
+		return http.StatusOK // handler wrote nothing: net/http defaults to 200
+	}
+	return sr.status
+}
+
+// instrument wraps one routed endpoint with a request counter
+// (endpoint + status labels) and a latency histogram (endpoint
+// label). The endpoint label is the route pattern — bounded
+// cardinality whatever clients request. A nil registry returns the
+// handler untouched.
+func instrument(reg *obs.Registry, endpoint string, next http.Handler) http.Handler {
+	if reg == nil {
+		return next
+	}
+	latency := reg.Histogram("bioenrich_http_request_seconds", nil, "endpoint", endpoint)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(sr, r)
+		latency.Observe(time.Since(start).Seconds())
+		reg.Counter("bioenrich_http_requests_total",
+			"endpoint", endpoint,
+			"status", strconv.Itoa(sr.statusCode())).Inc()
+	})
+}
+
+// observe wraps the whole router with the in-flight gauge and the
+// structured access log. Both are optional; with neither configured
+// the handler is returned untouched.
+func observe(reg *obs.Registry, log *slog.Logger, next http.Handler) http.Handler {
+	if reg == nil && log == nil {
+		return next
+	}
+	inFlight := reg.Gauge("bioenrich_http_in_flight")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inFlight.Add(1)
+		defer inFlight.Add(-1)
+		if log == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(sr, r)
+		log.Info("http request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sr.statusCode(),
+			"bytes", sr.bytes,
+			"duration_ms", float64(time.Since(start).Microseconds())/1000,
+			"remote", r.RemoteAddr)
+	})
+}

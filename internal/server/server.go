@@ -15,12 +15,17 @@
 //	POST /enrich                         run steps I-IV; {"apply":true} mutates
 //	GET  /relations?top=20               typed relations between ontology terms
 //	POST /disambiguate                   {"term":..., "context":[...]} -> sense
+//	GET  /metrics                        Prometheus exposition (with Options.Obs)
+//	     /debug/pprof/*                  net/http/pprof (with Options.Pprof)
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 
@@ -28,20 +33,47 @@ import (
 	"bioenrich/internal/core"
 	"bioenrich/internal/corpus"
 	"bioenrich/internal/linkage"
+	"bioenrich/internal/obs"
 	"bioenrich/internal/ontology"
 	"bioenrich/internal/relext"
 	"bioenrich/internal/senseind"
 	"bioenrich/internal/termex"
 )
 
+// DefaultMaxBodyBytes bounds POST request bodies unless
+// Options.MaxBodyBytes overrides it. 8 MiB comfortably fits large
+// document batches while keeping an abusive client from exhausting
+// memory through an unbounded decode.
+const DefaultMaxBodyBytes = 8 << 20
+
+// Options is the server's operational (non-pipeline) configuration.
+// The zero value is a plain, uninstrumented server.
+type Options struct {
+	// Obs enables metrics: per-endpoint request counters, latency
+	// histograms, the in-flight gauge, pipeline metrics from /enrich
+	// runs, and the GET /metrics exposition endpoint. nil disables all
+	// of it.
+	Obs *obs.Registry
+	// Pprof mounts net/http/pprof under /debug/pprof/ (opt-in: the
+	// profiling surface should not be exposed by default).
+	Pprof bool
+	// MaxBodyBytes caps POST bodies; exceeding it yields 413. 0 means
+	// DefaultMaxBodyBytes, negative disables the cap.
+	MaxBodyBytes int64
+	// AccessLog, when non-nil, receives one structured line per
+	// request (method, path, status, bytes, duration).
+	AccessLog *slog.Logger
+}
+
 // Server wires a corpus and an ontology to HTTP handlers. All handlers
 // take the read lock; mutating handlers (POST /documents,
 // POST /enrich with apply) take the write lock.
 type Server struct {
-	mu  sync.RWMutex
-	c   *corpus.Corpus
-	o   *ontology.Ontology
-	cfg core.Config
+	mu   sync.RWMutex
+	c    *corpus.Corpus
+	o    *ontology.Ontology
+	cfg  core.Config
+	opts Options
 }
 
 // New builds a server around a corpus and ontology with the paper's
@@ -55,31 +87,93 @@ func New(c *corpus.Corpus, o *ontology.Ontology) *Server {
 // embedding the server with a tuned Config. Zero-valued fields fall
 // back to the defaults when the enricher is built.
 func NewWithConfig(c *corpus.Corpus, o *ontology.Ontology, cfg core.Config) *Server {
-	return &Server{c: c, o: o, cfg: cfg}
+	return NewWithOptions(c, o, cfg, Options{})
 }
 
-// Handler returns the routing http.Handler.
+// NewWithOptions additionally takes operational options: metrics,
+// pprof, body limits and access logging.
+func NewWithOptions(c *corpus.Corpus, o *ontology.Ontology, cfg core.Config, opts Options) *Server {
+	return &Server{c: c, o: o, cfg: cfg, opts: opts}
+}
+
+// Handler returns the routing http.Handler. Every endpoint is
+// wrapped with per-endpoint instrumentation (when Options.Obs is
+// set), and the router as a whole with the in-flight gauge and
+// access log.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /health", s.handleHealth)
-	mux.HandleFunc("GET /ontology/stats", s.handleOntologyStats)
-	mux.HandleFunc("GET /ontology/term", s.handleOntologyTerm)
-	mux.HandleFunc("GET /search", s.handleSearch)
-	mux.HandleFunc("GET /extract", s.handleExtract)
-	mux.HandleFunc("GET /senses", s.handleSenses)
-	mux.HandleFunc("GET /link", s.handleLink)
-	mux.HandleFunc("POST /documents", s.handleAddDocuments)
-	mux.HandleFunc("POST /enrich", s.handleEnrich)
-	mux.HandleFunc("GET /relations", s.handleRelations)
-	mux.HandleFunc("POST /disambiguate", s.handleDisambiguate)
-	return mux
+	route := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, instrument(s.opts.Obs, pattern, h))
+	}
+	route("GET /health", s.handleHealth)
+	route("GET /ontology/stats", s.handleOntologyStats)
+	route("GET /ontology/term", s.handleOntologyTerm)
+	route("GET /search", s.handleSearch)
+	route("GET /extract", s.handleExtract)
+	route("GET /senses", s.handleSenses)
+	route("GET /link", s.handleLink)
+	route("POST /documents", s.handleAddDocuments)
+	route("POST /enrich", s.handleEnrich)
+	route("GET /relations", s.handleRelations)
+	route("POST /disambiguate", s.handleDisambiguate)
+	if s.opts.Obs != nil {
+		// The exposition endpoint is instrumented like any other; the
+		// counter increments after the scrape renders, so a scrape sees
+		// every request before itself.
+		mux.Handle("GET /metrics", instrument(s.opts.Obs, "GET /metrics", s.opts.Obs.Handler()))
+	}
+	if s.opts.Pprof {
+		// No method restriction: the pprof tool POSTs to /symbol.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return observe(s.opts.Obs, s.opts.AccessLog, mux)
 }
 
-// writeJSON writes v with status 200 (or the given code).
+// limitBody caps r.Body per Options.MaxBodyBytes; a decode past the
+// cap fails with *http.MaxBytesError, which decodeStatus maps to 413.
+func (s *Server) limitBody(w http.ResponseWriter, r *http.Request) {
+	limit := s.opts.MaxBodyBytes
+	if limit == 0 {
+		limit = DefaultMaxBodyBytes
+	}
+	if limit > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, limit)
+	}
+}
+
+// decodeStatus maps a body-decode failure to its response status:
+// 413 when the body blew the size cap, 400 otherwise.
+func decodeStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// writeJSON writes v with the given status. The body is encoded
+// up-front so an encode failure can still be reported as a 500
+// instead of a silently truncated 200 — once the first body byte is
+// on the wire the status is unchangeable.
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		slog.Error("server: response encode failed", "err", err)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintln(w, `{"error":"response encoding failed"}`)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+	buf = append(buf, '\n') // keep json.Encoder's trailing newline
+	if _, err := w.Write(buf); err != nil {
+		slog.Debug("server: response write failed", "err", err)
+	}
 }
 
 // errorJSON reports an error as {"error": "..."}.
@@ -225,9 +319,10 @@ func (s *Server) handleLink(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleAddDocuments(w http.ResponseWriter, r *http.Request) {
+	s.limitBody(w, r)
 	var docs []corpus.Document
 	if err := json.NewDecoder(r.Body).Decode(&docs); err != nil {
-		errorJSON(w, http.StatusBadRequest, fmt.Errorf("decode documents: %w", err))
+		errorJSON(w, decodeStatus(err), fmt.Errorf("decode documents: %w", err))
 		return
 	}
 	if len(docs) == 0 {
@@ -262,9 +357,10 @@ type disambiguateRequest struct {
 }
 
 func (s *Server) handleDisambiguate(w http.ResponseWriter, r *http.Request) {
+	s.limitBody(w, r)
 	var req disambiguateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		errorJSON(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		errorJSON(w, decodeStatus(err), fmt.Errorf("decode request: %w", err))
 		return
 	}
 	if req.Term == "" || len(req.Context) == 0 {
@@ -304,10 +400,11 @@ type enrichRequest struct {
 }
 
 func (s *Server) handleEnrich(w http.ResponseWriter, r *http.Request) {
+	s.limitBody(w, r)
 	var req enrichRequest
 	if r.ContentLength != 0 {
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			errorJSON(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+			errorJSON(w, decodeStatus(err), fmt.Errorf("decode request: %w", err))
 			return
 		}
 	}
@@ -320,6 +417,9 @@ func (s *Server) handleEnrich(w http.ResponseWriter, r *http.Request) {
 	cfg.TopCandidates = req.Top
 	if req.Workers > 0 {
 		cfg.Workers = req.Workers
+	}
+	if cfg.Obs == nil {
+		cfg.Obs = s.opts.Obs // pipeline spans and pool metrics land in /metrics
 	}
 	enricher := core.NewEnricher(s.c, s.o, cfg)
 	report, err := enricher.Run()
