@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race bench bench-enricher
+.PHONY: verify build vet test race staticcheck bench bench-enricher
 
 build:
 	$(GO) build ./...
@@ -19,12 +19,18 @@ test:
 	$(GO) test ./...
 
 # The race detector is the proof obligation for the enricher worker
-# pool, the linkage context-vector cache, the obs metrics registry and
-# the server's lock discipline; these four packages are where the
-# concurrency lives, the rest ride along for free. CI
+# pool (including its cancellation paths), the linkage context-vector
+# cache, sense induction's context-aware entry points, the obs metrics
+# registry and the server's lock discipline; these packages are where
+# the concurrency lives, the rest ride along for free. CI
 # (.github/workflows/ci.yml) runs the same gate.
 race:
-	$(GO) test -race ./internal/core ./internal/server ./internal/linkage ./internal/obs
+	$(GO) test -race ./internal/core ./internal/server ./internal/linkage ./internal/obs ./internal/senseind
+
+# staticcheck is advisory locally (skipped when the binary is absent);
+# CI pins a version and enforces it.
+staticcheck:
+	@command -v staticcheck >/dev/null 2>&1 && staticcheck ./... || echo "staticcheck not installed; skipping (CI enforces it)"
 
 verify: build vet test race
 

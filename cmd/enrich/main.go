@@ -7,20 +7,26 @@
 //
 //	enrich -corpus data/corpus.json -ontology data/ontology.json \
 //	       [-top 20] [-measure lidf-value] [-apply -out enriched.json] \
-//	       [-metrics] [-pprof cpu.out] [-log-level info]
+//	       [-timeout 5m] [-metrics] [-pprof cpu.out] [-log-level info]
 //
 // -metrics instruments the run and prints a per-step (I-IV) timing
 // summary after the report; -pprof writes a CPU profile of the run to
 // the given file for `go tool pprof`; -log-level enables structured
-// progress logging on stderr.
+// progress logging on stderr. -timeout deadlines the run; SIGINT
+// cancels it gracefully — in both cases nothing is applied and, with
+// -metrics, the partial timing summary of the work done so far still
+// prints.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
+	"os/signal"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"bioenrich/internal/core"
@@ -41,6 +47,7 @@ type options struct {
 	metrics             bool
 	pprofPath           string
 	logLevel            string
+	timeout             time.Duration
 }
 
 func main() {
@@ -58,6 +65,7 @@ func main() {
 	flag.BoolVar(&o.metrics, "metrics", false, "instrument the pipeline and print a per-step timing summary")
 	flag.StringVar(&o.pprofPath, "pprof", "", "write a CPU profile of the run to this file")
 	flag.StringVar(&o.logLevel, "log-level", "", "structured progress logging on stderr: debug|info|warn|error (empty = off)")
+	flag.DurationVar(&o.timeout, "timeout", 0, "abort the run after this long (0 = no deadline); SIGINT also cancels gracefully")
 	flag.Parse()
 	o.measure = termex.Measure(measure)
 
@@ -127,8 +135,22 @@ func run(o options) error {
 		fmt.Println("step II: too few labelled terms; candidates treated as monosemic")
 	}
 
-	report, err := enricher.Run()
+	// The run is cancellable: ^C (SIGINT/SIGTERM) cancels it
+	// gracefully, and -timeout adds a deadline. Either way the worker
+	// pool drains within one candidate's work and, with -metrics, the
+	// partial per-step timing summary still prints before the error.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if o.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.timeout)
+		defer cancel()
+	}
+	report, err := enricher.RunContext(ctx)
 	if err != nil {
+		if reg != nil && ctx.Err() != nil {
+			printTimings(reg)
+		}
 		return err
 	}
 	for _, cand := range report.Candidates {

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"bioenrich/internal/corpus"
 	"bioenrich/internal/ontology"
@@ -94,6 +97,24 @@ func TestRunWithMetricsAndProfile(t *testing.T) {
 	// StopCPUProfile runs in run's defer, so the file is complete here.
 	if fi, err := os.Stat(profile); err != nil || fi.Size() == 0 {
 		t.Errorf("CPU profile not written: %v", err)
+	}
+}
+
+// TestRunTimeout: an already-expired -timeout aborts the run with the
+// context's deadline error and applies nothing — the enriched output
+// file is never written.
+func TestRunTimeout(t *testing.T) {
+	corpPath, ontPath, dir := writeFixtures(t)
+	out := filepath.Join(dir, "should-not-exist.json")
+	err := run(options{
+		corpusPath: corpPath, ontPath: ontPath, measure: termex.LIDF,
+		top: 5, apply: true, out: out, timeout: time.Nanosecond, metrics: true,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if _, statErr := os.Stat(out); !os.IsNotExist(statErr) {
+		t.Errorf("cancelled -apply run wrote %s", out)
 	}
 }
 

@@ -6,12 +6,16 @@
 //
 //	serve -corpus data/corpus.json -ontology data/ontology.json \
 //	      [-addr :8080] [-workers N] [-shutdown-timeout 10s] \
-//	      [-metrics=true] [-pprof] [-log-level info] [-max-body 8388608]
+//	      [-enrich-timeout 2m] [-metrics=true] [-pprof] \
+//	      [-log-level info] [-max-body 8388608]
 //
 // The server is configured with conservative read/write timeouts so a
 // slow or stalled client cannot pin a connection forever, and shuts
 // down gracefully on SIGINT/SIGTERM: in-flight requests get up to
 // -shutdown-timeout to complete before the process exits.
+// -enrich-timeout additionally deadlines each POST /enrich pipeline
+// run (504 past it); a client that disconnects mid-run cancels the
+// run either way.
 //
 // Observability: -metrics (on by default) serves the Prometheus
 // exposition at GET /metrics — per-endpoint request counts and
@@ -51,6 +55,7 @@ func main() {
 	readTimeout := flag.Duration("read-timeout", 30*time.Second, "max duration for reading a request")
 	writeTimeout := flag.Duration("write-timeout", 5*time.Minute, "max duration for writing a response (enrich runs are slow)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
+	enrichTimeout := flag.Duration("enrich-timeout", 0, "deadline per POST /enrich run; exceeding it returns 504 (0 = bounded only by the client connection)")
 	metrics := flag.Bool("metrics", true, "serve Prometheus metrics at GET /metrics")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error (info logs every request)")
@@ -81,9 +86,10 @@ func main() {
 	cfg.Workers = *workers
 
 	opts := server.Options{
-		Pprof:        *pprofFlag,
-		MaxBodyBytes: *maxBody,
-		AccessLog:    logger,
+		Pprof:         *pprofFlag,
+		MaxBodyBytes:  *maxBody,
+		AccessLog:     logger,
+		EnrichTimeout: *enrichTimeout,
 	}
 	if *metrics {
 		opts.Obs = obs.New()

@@ -159,9 +159,11 @@ func (c Config) withDefaults() Config {
 	if c.Representation == "" {
 		c.Representation = def.Representation
 	}
-	if c.Link.ContextWindow == 0 {
-		c.Link = def.Link
-	}
+	// Link is defaulted per field (linkage.Options.WithDefaults), not
+	// replaced wholesale: a caller who set only Link.Obs, a coherence
+	// lambda, or the expansion flags keeps them — the same bug class
+	// already fixed for the outer Config.
+	c.Link = c.Link.WithDefaults()
 	if c.TopPositions == 0 {
 		c.TopPositions = def.TopPositions
 	}
@@ -212,7 +214,8 @@ func (e *Enricher) IsPolysemic(c *corpus.Corpus, term string) bool {
 }
 
 // Run executes steps I–IV and returns the report. The ontology is not
-// modified; call Apply with accepted candidates to enrich it.
+// modified; call Apply with accepted candidates to enrich it. Run is
+// RunContext with context.Background(): it cannot be cancelled.
 //
 // Steps II–IV are independent per candidate and run on a bounded pool
 // of Config.Workers goroutines. The report is deterministic for a
@@ -221,7 +224,30 @@ func (e *Enricher) IsPolysemic(c *corpus.Corpus, term string) bool {
 // worker writes into its candidate's pre-assigned slot, and clustering
 // seeds derive from the slot index rather than scheduling order.
 func (e *Enricher) Run() (*Report, error) {
-	ctx, runSpan := e.cfg.Obs.StartSpan(context.Background(), "enrich.run")
+	return e.RunContext(context.Background())
+}
+
+// RunContext is Run with a caller-controlled lifetime. Cancellation is
+// cooperative at candidate and step granularity: the pool stops
+// dispatching on ctx.Done(), in-flight workers abandon their candidate
+// at the next step boundary, and the run returns ctx's error (test
+// with errors.Is against context.Canceled / context.DeadlineExceeded).
+// A cancelled run returns a nil report — never a partial one — and
+// increments obs.RunsCancelledMetric. An uncancelled RunContext is
+// byte-identical to Run for the same Config.
+func (e *Enricher) RunContext(ctx context.Context) (*Report, error) {
+	report, err := e.run(ctx)
+	if err != nil && ctx.Err() != nil {
+		e.cfg.Obs.Counter(obs.RunsCancelledMetric).Inc()
+	}
+	return report, err
+}
+
+func (e *Enricher) run(ctx context.Context) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: run: %w", err)
+	}
+	ctx, runSpan := e.cfg.Obs.StartSpan(ctx, "enrich.run")
 	defer runSpan.End()
 	_, sp1 := e.cfg.Obs.StartSpan(ctx, "step1.extract")
 	ext := termex.NewExtractor(e.c)
@@ -299,16 +325,22 @@ func (e *Enricher) Run() (*Report, error) {
 	if workers <= 1 {
 		busy := e.cfg.Obs.Counter("bioenrich_pool_worker_busy_seconds_total", "worker", "0")
 		for _, slot := range work {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: run cancelled: %w", err)
+			}
 			active.Add(1)
 			var start time.Time
 			if timed {
 				start = time.Now()
 			}
-			e.enrichCandidate(&report.Candidates[slot], linker, inducer, int64(slot), spans)
+			e.enrichCandidate(ctx, &report.Candidates[slot], linker, inducer, int64(slot), spans)
 			if timed {
 				busy.Add(time.Since(start).Seconds())
 			}
 			active.Add(-1)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: run cancelled: %w", err)
 		}
 		return report, nil
 	}
@@ -320,12 +352,19 @@ func (e *Enricher) Run() (*Report, error) {
 			defer wg.Done()
 			busy := e.cfg.Obs.Counter("bioenrich_pool_worker_busy_seconds_total", "worker", strconv.Itoa(w))
 			for slot := range slots {
+				// Candidate-granularity cancellation: once ctx is done
+				// the worker skips its remaining slots (draining the
+				// channel so the dispatcher never blocks) and the step
+				// checks inside enrichCandidate abandon in-flight work.
+				if ctx.Err() != nil {
+					continue
+				}
 				active.Add(1)
 				var start time.Time
 				if timed {
 					start = time.Now()
 				}
-				e.enrichCandidate(&report.Candidates[slot], linker, inducer, int64(slot), spans)
+				e.enrichCandidate(ctx, &report.Candidates[slot], linker, inducer, int64(slot), spans)
 				if timed {
 					busy.Add(time.Since(start).Seconds())
 				}
@@ -333,11 +372,19 @@ func (e *Enricher) Run() (*Report, error) {
 			}
 		}(w)
 	}
+dispatch:
 	for _, slot := range work {
-		slots <- slot
+		select {
+		case slots <- slot:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(slots)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: run cancelled: %w", err)
+	}
 	return report, nil
 }
 
@@ -351,7 +398,10 @@ type stepSpans struct {
 // one pre-selected candidate, writing the outcome in place. Safe to
 // call concurrently for distinct candidates: it only reads the corpus,
 // ontology and detector, and the linker's cache is concurrency-safe.
-func (e *Enricher) enrichCandidate(cand *Candidate, linker *linkage.Linker, inducer senseind.Inducer, slot int64, spans stepSpans) {
+// Cancellation is checked at every step boundary (and inside steps III
+// and IV via their context-aware entry points); a cancelled candidate
+// is abandoned where it stands — the caller discards the whole report.
+func (e *Enricher) enrichCandidate(ctx context.Context, cand *Candidate, linker *linkage.Linker, inducer senseind.Inducer, slot int64, spans stepSpans) {
 	timed := spans.s2 != nil
 	var t0 time.Time
 	if timed {
@@ -367,12 +417,15 @@ func (e *Enricher) enrichCandidate(cand *Candidate, linker *linkage.Linker, indu
 		spans.s2.AddBatch(t1.Sub(t0))
 		t0 = t1
 	}
+	if ctx.Err() != nil {
+		return
+	}
 
 	// Step III: sense induction (k = 1 for monosemic candidates). The
 	// seed derives from the candidate's report slot so the clustering
 	// outcome is a pure function of (Config.Seed, slot), independent
 	// of which worker picks the candidate up and in what order.
-	if senses, err := inducer.WithSeed(e.cfg.Seed + slot).Induce(e.c, cand.Term, cand.Polysemic); err == nil {
+	if senses, err := inducer.WithSeed(e.cfg.Seed+slot).InduceContext(ctx, e.c, cand.Term, cand.Polysemic); err == nil {
 		cand.Senses = senses
 	}
 	if timed {
@@ -380,9 +433,12 @@ func (e *Enricher) enrichCandidate(cand *Candidate, linker *linkage.Linker, indu
 		spans.s3.AddBatch(t1.Sub(t0))
 		t0 = t1
 	}
+	if ctx.Err() != nil {
+		return
+	}
 
 	// Step IV: position proposals.
-	if props, err := linker.Propose(cand.Term, e.cfg.TopPositions); err == nil {
+	if props, err := linker.ProposeContext(ctx, cand.Term, e.cfg.TopPositions); err == nil {
 		cand.Positions = props
 	}
 	if timed {
@@ -391,6 +447,9 @@ func (e *Enricher) enrichCandidate(cand *Candidate, linker *linkage.Linker, indu
 
 	// Future-work extension: typed relations between the candidate
 	// and its proposed anchors.
+	if ctx.Err() != nil {
+		return
+	}
 	if e.cfg.ExtractRelations && len(cand.Positions) > 0 {
 		vocab := []string{cand.Term}
 		for _, p := range cand.Positions {

@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"bioenrich/internal/corpus"
+	"bioenrich/internal/linkage"
+	"bioenrich/internal/obs"
 	"bioenrich/internal/ontology"
 	"bioenrich/internal/synth"
 )
@@ -65,6 +67,41 @@ func TestConfigWithDefaultsPreservesCustomFields(t *testing.T) {
 	}
 	if fresh > 3 {
 		t.Errorf("%d new candidates, want ≤ 3", fresh)
+	}
+}
+
+// TestWithDefaultsPreservesLinkFields is the regression for the Link
+// clobber: `if c.Link.ContextWindow == 0 { c.Link = def.Link }`
+// replaced the whole Options, silently dropping an explicitly-set Obs
+// registry, coherence lambda, or disabled expansion flag. Defaulting
+// is now per field.
+func TestWithDefaultsPreservesLinkFields(t *testing.T) {
+	reg := obs.New()
+	cfg := Config{Link: linkage.Options{
+		Obs:             reg,
+		CoherenceLambda: 0.25,
+		ExpandFathers:   true,
+		ExpandSons:      false, // the table-4a ablation shape
+	}}
+	got := cfg.withDefaults().Link
+	if got.Obs != reg {
+		t.Error("Link.Obs clobbered by defaulting")
+	}
+	if got.CoherenceLambda != 0.25 {
+		t.Errorf("Link.CoherenceLambda = %v, want 0.25", got.CoherenceLambda)
+	}
+	if !got.ExpandFathers || got.ExpandSons {
+		t.Errorf("expansion flags clobbered: fathers=%v sons=%v", got.ExpandFathers, got.ExpandSons)
+	}
+	def := linkage.DefaultOptions()
+	if got.ContextWindow != def.ContextWindow || got.CooccurWindow != def.CooccurWindow ||
+		got.MaxNeighbors != def.MaxNeighbors {
+		t.Errorf("zero numeric Link fields not defaulted: %+v", got)
+	}
+
+	// A fully-zero Link still means the paper's defaults, expansion on.
+	if got := (Config{}).withDefaults().Link; !reflect.DeepEqual(got, def) {
+		t.Errorf("zero Link = %+v, want DefaultOptions", got)
 	}
 }
 

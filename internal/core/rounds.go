@@ -27,15 +27,30 @@ type RoundReport struct {
 //
 // Each round's Run executes steps II–IV on the configured worker pool
 // (Config.Workers); rounds themselves stay sequential because round
-// n+1's anchors depend on round n's Apply.
+// n+1's anchors depend on round n's Apply. RunRounds is
+// RunRoundsContext with context.Background(): it cannot be cancelled.
 func (e *Enricher) RunRounds(rounds int, policy AttachPolicy) ([]RoundReport, error) {
+	return e.RunRoundsContext(context.Background(), rounds, policy)
+}
+
+// RunRoundsContext is RunRounds with a caller-controlled lifetime.
+// Cancellation never corrupts the ontology: each round's Apply runs
+// only after its Run completed uncancelled, and the context is
+// re-checked between Run and Apply — a cancelled round returns the
+// rounds completed so far and applies nothing further.
+func (e *Enricher) RunRoundsContext(ctx context.Context, rounds int, policy AttachPolicy) ([]RoundReport, error) {
 	var out []RoundReport
 	for r := 1; r <= rounds; r++ {
-		report, err := e.Run()
+		report, err := e.RunContext(ctx)
 		if err != nil {
 			return out, fmt.Errorf("core: round %d: %w", r, err)
 		}
-		_, apSpan := e.cfg.Obs.StartSpan(context.Background(), "enrich.apply")
+		// The gap between Run returning and Apply mutating is the last
+		// moment to observe cancellation before state changes.
+		if err := ctx.Err(); err != nil {
+			return out, fmt.Errorf("core: round %d: %w", r, err)
+		}
+		_, apSpan := e.cfg.Obs.StartSpan(ctx, "enrich.apply")
 		applied, err := e.Apply(report, policy)
 		apSpan.End()
 		if err != nil {

@@ -8,6 +8,7 @@
 package linkage
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -39,13 +40,17 @@ type Proposal struct {
 	Relation Relation
 }
 
-// Options configures the linker.
+// Options configures the linker. Zero-valued numeric fields are
+// filled from DefaultOptions (negative MaxNeighbors disables the
+// cap); the expansion flags are honored as given in any non-zero
+// Options, so the table-4a ablation (expansion off) survives
+// defaulting — only the fully-zero Options means "all defaults".
 type Options struct {
 	ContextWindow int  // window for context vectors (default 8)
 	CooccurWindow int  // window for neighbor detection (default 20)
 	ExpandFathers bool // include neighbors' parents (default true)
 	ExpandSons    bool // include neighbors' children (default true)
-	MaxNeighbors  int  // cap on direct neighbors considered (default 40)
+	MaxNeighbors  int  // cap on direct neighbors considered (default 40; negative = no cap)
 	// CoherenceLambda, when > 0, re-ranks proposals by blending the
 	// context cosine with structural coherence (see CoherenceRerank).
 	// 0 (the default, and the paper's method) disables re-ranking.
@@ -65,6 +70,31 @@ func DefaultOptions() Options {
 		ExpandSons:    true,
 		MaxNeighbors:  40,
 	}
+}
+
+// WithDefaults fills unset fields from DefaultOptions without
+// clobbering explicitly-set ones: a fully-zero Options becomes
+// DefaultOptions (expansion on — the paper's setup), while a
+// partially-built Options keeps its Obs, CoherenceLambda and
+// expansion flags and only has zero numeric fields filled. The old
+// behaviour — replacing the whole struct whenever ContextWindow was
+// zero — silently dropped an explicitly-set Obs registry or disabled
+// expansion flag.
+func (o Options) WithDefaults() Options {
+	if o == (Options{}) {
+		return DefaultOptions()
+	}
+	def := DefaultOptions()
+	if o.ContextWindow == 0 {
+		o.ContextWindow = def.ContextWindow
+	}
+	if o.CooccurWindow == 0 {
+		o.CooccurWindow = def.CooccurWindow
+	}
+	if o.MaxNeighbors == 0 {
+		o.MaxNeighbors = def.MaxNeighbors
+	}
+	return o
 }
 
 // Linker proposes ontology positions for candidate terms. A Linker is
@@ -91,12 +121,9 @@ type Linker struct {
 }
 
 // New builds a linker over a corpus and the target ontology.
+// Zero-valued Options fields are filled per WithDefaults.
 func New(c *corpus.Corpus, o *ontology.Ontology, opts Options) *Linker {
-	if opts.ContextWindow == 0 {
-		reg := opts.Obs
-		opts = DefaultOptions()
-		opts.Obs = reg
-	}
+	opts = opts.WithDefaults()
 	return &Linker{
 		c: c, o: o, opts: opts,
 		cacheHits:   opts.Obs.Counter("bioenrich_linkage_cache_hits_total"),
@@ -121,15 +148,31 @@ func (l *Linker) contextVector(term string) sparse.Vector {
 }
 
 // Propose returns the top-N position proposals for a candidate term,
-// best first. The candidate must occur in the corpus.
+// best first. The candidate must occur in the corpus. Propose is
+// ProposeContext with context.Background(): it cannot be cancelled.
 func (l *Linker) Propose(candidate string, topN int) ([]Proposal, error) {
+	return l.ProposeContext(context.Background(), candidate, topN)
+}
+
+// ProposeContext is Propose with cooperative cancellation: the
+// context is checked per candidate occurrence while scanning for
+// neighbors and per pool term while ranking — the two loops whose
+// cost grows with the corpus. A cancelled call returns ctx's error
+// (errors.Is-compatible with context.Canceled / DeadlineExceeded).
+func (l *Linker) ProposeContext(ctx context.Context, candidate string, topN int) ([]Proposal, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("linkage: propose %q: %w", candidate, err)
+	}
 	cand := textutil.NormalizeTerm(candidate)
 	candVec := l.contextVector(cand)
 	if len(candVec) == 0 {
 		return nil, fmt.Errorf("linkage: candidate %q has no corpus contexts", candidate)
 	}
 
-	neighbors := l.meshNeighbors(cand)
+	neighbors, err := l.meshNeighbors(ctx, cand)
+	if err != nil {
+		return nil, fmt.Errorf("linkage: propose %q: %w", candidate, err)
+	}
 	if len(neighbors) == 0 {
 		return nil, fmt.Errorf("linkage: candidate %q co-occurs with no ontology term", candidate)
 	}
@@ -171,9 +214,14 @@ func (l *Linker) Propose(candidate string, topN int) ([]Proposal, error) {
 		}
 	}
 
-	// Rank the pool by context cosine with the candidate.
+	// Rank the pool by context cosine with the candidate. Each pool
+	// term may cost a full corpus scan on a cache miss, so this loop
+	// is the other cancellation point.
 	proposals := make([]Proposal, 0, len(pool))
 	for term, pe := range pool {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("linkage: propose %q: %w", candidate, err)
+		}
 		v := l.contextVector(term)
 		if len(v) == 0 {
 			continue // ontology term absent from the corpus
@@ -202,12 +250,17 @@ func (l *Linker) Propose(candidate string, topN int) ([]Proposal, error) {
 
 // meshNeighbors returns the ontology terms co-occurring with the
 // candidate within the co-occurrence window, most frequent first,
-// capped at MaxNeighbors.
-func (l *Linker) meshNeighbors(cand string) []string {
+// capped at MaxNeighbors. The context is checked once per candidate
+// occurrence (one window scan each), the loop that dominates for
+// frequent candidates.
+func (l *Linker) meshNeighbors(ctx context.Context, cand string) ([]string, error) {
 	counts := make(map[string]int)
 	w := l.opts.CooccurWindow
 	candWords := len(strings.Fields(cand))
 	for _, occ := range l.c.Occurrences(cand) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		toks := l.c.Tokens(int(occ.Doc))
 		lo := int(occ.Pos) - w
 		if lo < 0 {
@@ -248,7 +301,7 @@ func (l *Linker) meshNeighbors(cand string) []string {
 	if l.opts.MaxNeighbors > 0 && len(terms) > l.opts.MaxNeighbors {
 		terms = terms[:l.opts.MaxNeighbors]
 	}
-	return terms
+	return terms, nil
 }
 
 // CandidateVector exposes the candidate's aggregated context vector

@@ -1,0 +1,78 @@
+package linkage
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"bioenrich/internal/obs"
+	"bioenrich/internal/synth"
+)
+
+// TestNewPreservesExplicitOptions is the regression for New replacing
+// a partially-built Options wholesale whenever ContextWindow was zero:
+// an explicitly-set Obs registry, coherence lambda, or disabled
+// expansion flag must survive defaulting.
+func TestNewPreservesExplicitOptions(t *testing.T) {
+	o, c := fixture()
+	reg := obs.New()
+	l := New(c, o, Options{Obs: reg, CoherenceLambda: 0.3, ExpandFathers: true})
+	if l.opts.Obs != reg {
+		t.Error("Obs clobbered by defaulting")
+	}
+	if l.opts.CoherenceLambda != 0.3 {
+		t.Errorf("CoherenceLambda = %v, want 0.3", l.opts.CoherenceLambda)
+	}
+	if !l.opts.ExpandFathers || l.opts.ExpandSons {
+		t.Errorf("expansion flags not honored: fathers=%v sons=%v",
+			l.opts.ExpandFathers, l.opts.ExpandSons)
+	}
+	def := DefaultOptions()
+	if l.opts.ContextWindow != def.ContextWindow || l.opts.CooccurWindow != def.CooccurWindow ||
+		l.opts.MaxNeighbors != def.MaxNeighbors {
+		t.Errorf("zero numeric fields not defaulted: %+v", l.opts)
+	}
+}
+
+func TestWithDefaultsZeroValue(t *testing.T) {
+	if got := (Options{}).WithDefaults(); !reflect.DeepEqual(got, DefaultOptions()) {
+		t.Errorf("zero Options = %+v, want DefaultOptions", got)
+	}
+	// Negative MaxNeighbors (no cap) is explicit, not zero: keep it.
+	o := DefaultOptions()
+	o.MaxNeighbors = -1
+	if got := o.WithDefaults(); got.MaxNeighbors != -1 {
+		t.Errorf("MaxNeighbors = %d, want -1 preserved", got.MaxNeighbors)
+	}
+}
+
+// TestProposeContextCancelled: a cancelled context stops Propose
+// before (and during) its corpus scans, surfacing the context's error.
+func TestProposeContextCancelled(t *testing.T) {
+	o, c := fixture()
+	reduced := synth.HoldOut(o, "corneal injuries")
+	l := New(c, reduced, DefaultOptions())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	props, err := l.ProposeContext(ctx, "corneal injuries", 10)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if props != nil {
+		t.Errorf("cancelled Propose returned proposals: %v", props)
+	}
+
+	// The uncancelled context-aware path matches Propose exactly.
+	want, err := l.Propose("corneal injuries", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := l.ProposeContext(context.Background(), "corneal injuries", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Error("ProposeContext proposals differ from Propose")
+	}
+}

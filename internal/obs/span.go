@@ -12,6 +12,11 @@ import (
 // reach /metrics.
 const SpanMetric = "bioenrich_span_seconds"
 
+// RunsCancelledMetric is the counter of enrichment runs that ended
+// early because their context was cancelled or its deadline passed
+// (incremented by core.RunContext, surfaced at /metrics).
+const RunsCancelledMetric = "bioenrich_runs_cancelled_total"
+
 type spanCtxKey struct{}
 
 // Span measures one named region of work. By default it measures

@@ -7,6 +7,7 @@
 package senseind
 
 import (
+	"context"
 	"fmt"
 
 	"bioenrich/internal/cluster"
@@ -90,12 +91,28 @@ func (in Inducer) WithSeed(seed int64) *Inducer {
 }
 
 // Induce runs step III for a term whose polysemy status is already
-// known from step II.
+// known from step II. Induce is InduceContext with
+// context.Background(): it cannot be cancelled.
 func (in *Inducer) Induce(c *corpus.Corpus, term string, polysemic bool) (*Result, error) {
+	return in.InduceContext(context.Background(), c, term, polysemic)
+}
+
+// InduceContext is Induce with cooperative cancellation: the context
+// is checked before the corpus harvest and again before vectorization
+// and clustering — the two expensive stages. A cancelled call returns
+// ctx's error (errors.Is-compatible with context.Canceled /
+// context.DeadlineExceeded).
+func (in *Inducer) InduceContext(ctx context.Context, c *corpus.Corpus, term string, polysemic bool) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("senseind: induce %q: %w", term, err)
+	}
 	ctxs := c.Contexts(term, in.Window)
 	raw := make([][]string, len(ctxs))
-	for i, ctx := range ctxs {
-		raw[i] = ctx.Words
+	for i, cw := range ctxs {
+		raw[i] = cw.Words
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("senseind: induce %q: %w", term, err)
 	}
 	return in.InduceFromContexts(term, raw, polysemic)
 }

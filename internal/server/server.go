@@ -20,14 +20,17 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
 	"sync"
+	"time"
 
 	"bioenrich/internal/cluster"
 	"bioenrich/internal/core"
@@ -63,6 +66,12 @@ type Options struct {
 	// AccessLog, when non-nil, receives one structured line per
 	// request (method, path, status, bytes, duration).
 	AccessLog *slog.Logger
+	// EnrichTimeout, when > 0, bounds each POST /enrich run: the
+	// pipeline runs under a context derived from the request (so a
+	// disconnected client cancels it) with this deadline added.
+	// Exceeding it returns 504 and, with "apply":true, mutates
+	// nothing. 0 leaves runs bounded only by the client connection.
+	EnrichTimeout time.Duration
 }
 
 // Server wires a corpus and an ontology to HTTP handlers. All handlers
@@ -181,13 +190,24 @@ func errorJSON(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
-func intParam(r *http.Request, name string, def int) int {
-	if v := r.URL.Query().Get(name); v != "" {
-		if n, err := strconv.Atoi(v); err == nil {
-			return n
-		}
+// intParam reads a non-negative integer query parameter, returning
+// def when absent. A value that does not parse, or a negative one, is
+// a client error (mapped to 400 by callers) — previously both were
+// silently swallowed into the default, so ?n=abc and ?top=-5 behaved
+// like omitting the parameter.
+func intParam(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
 	}
-	return def
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %q is not an integer", name, v)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("parameter %q: must be non-negative, got %d", name, n)
+	}
+	return n, nil
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -250,7 +270,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		errorJSON(w, http.StatusBadRequest, fmt.Errorf("missing ?q=<query>"))
 		return
 	}
-	n := intParam(r, "n", 10)
+	n, err := intParam(r, "n", 10)
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, err)
+		return
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, s.c.Search(q, n))
@@ -261,7 +285,11 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	if measure == "" {
 		measure = termex.LIDF
 	}
-	top := intParam(r, "top", 20)
+	top, err := intParam(r, "top", 20)
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, err)
+		return
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	ext := termex.NewExtractor(s.c)
@@ -307,11 +335,19 @@ func (s *Server) handleLink(w http.ResponseWriter, r *http.Request) {
 		errorJSON(w, http.StatusBadRequest, fmt.Errorf("missing ?term="))
 		return
 	}
-	top := intParam(r, "top", 10)
+	top, err := intParam(r, "top", 10)
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, err)
+		return
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	props, err := linkage.New(s.c, s.o, linkage.DefaultOptions()).Propose(term, top)
+	props, err := linkage.New(s.c, s.o, linkage.DefaultOptions()).ProposeContext(r.Context(), term, top)
 	if err != nil {
+		if r.Context().Err() != nil {
+			errorJSON(w, runStatus(err), err)
+			return
+		}
 		errorJSON(w, http.StatusBadRequest, err)
 		return
 	}
@@ -339,7 +375,11 @@ func (s *Server) handleAddDocuments(w http.ResponseWriter, r *http.Request) {
 // handleRelations extracts typed relations between ontology terms
 // (GET /relations?top=20) — the future-work extension over HTTP.
 func (s *Server) handleRelations(w http.ResponseWriter, r *http.Request) {
-	top := intParam(r, "top", 20)
+	top, err := intParam(r, "top", 20)
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, err)
+		return
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	rels := relext.NewExtractor(s.o.Terms(), s.c.Lang()).Extract(s.c)
@@ -399,20 +439,68 @@ type enrichRequest struct {
 	Workers int  `json:"workers"`
 }
 
+// statusClientClosedRequest is nginx's non-standard "client closed
+// request" status. The disconnected client never sees it, but the
+// access log and the status-labelled request counter distinguish
+// abandoned runs from server faults.
+const statusClientClosedRequest = 499
+
+// runStatus maps a pipeline error to its response status: 504 when
+// the run outlived Options.EnrichTimeout, 499 when the client went
+// away (request context cancelled), 500 otherwise.
+func runStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	}
+	return http.StatusInternalServerError
+}
+
 func (s *Server) handleEnrich(w http.ResponseWriter, r *http.Request) {
 	s.limitBody(w, r)
 	var req enrichRequest
-	if r.ContentLength != 0 {
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			errorJSON(w, decodeStatus(err), fmt.Errorf("decode request: %w", err))
-			return
-		}
+	// An empty body means "run with defaults". Decoding instead of
+	// guarding on r.ContentLength != 0 handles chunked requests too:
+	// their ContentLength is -1, and the old guard turned an empty
+	// chunked body into a spurious 400 on io.EOF.
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		errorJSON(w, decodeStatus(err), fmt.Errorf("decode request: %w", err))
+		return
 	}
-	if req.Top <= 0 {
+	if req.Top < 0 {
+		errorJSON(w, http.StatusBadRequest, fmt.Errorf("top: must be non-negative, got %d", req.Top))
+		return
+	}
+	if req.Workers < 0 {
+		errorJSON(w, http.StatusBadRequest, fmt.Errorf("workers: must be non-negative, got %d", req.Workers))
+		return
+	}
+	if req.Top == 0 {
 		req.Top = 10
 	}
-	s.mu.Lock() // Run reads; Apply mutates — take the write lock for both
-	defer s.mu.Unlock()
+
+	// The run lives at most as long as the request: a disconnected
+	// client cancels it, and Options.EnrichTimeout adds a deadline.
+	ctx := r.Context()
+	if s.opts.EnrichTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.EnrichTimeout)
+		defer cancel()
+	}
+
+	// Run only reads; the write lock is needed solely when applying.
+	// Read-only enrichments therefore share the read lock with
+	// /health, /search and the other read handlers instead of
+	// starving them for the whole run.
+	if req.Apply {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	} else {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
 	cfg := s.cfg
 	cfg.TopCandidates = req.Top
 	if req.Workers > 0 {
@@ -422,13 +510,19 @@ func (s *Server) handleEnrich(w http.ResponseWriter, r *http.Request) {
 		cfg.Obs = s.opts.Obs // pipeline spans and pool metrics land in /metrics
 	}
 	enricher := core.NewEnricher(s.c, s.o, cfg)
-	report, err := enricher.Run()
+	report, err := enricher.RunContext(ctx)
 	if err != nil {
-		errorJSON(w, http.StatusInternalServerError, err)
+		errorJSON(w, runStatus(err), err)
 		return
 	}
 	resp := map[string]any{"report": report}
 	if req.Apply {
+		// A cancellation that lands between Run returning and Apply
+		// starting must still apply nothing.
+		if err := ctx.Err(); err != nil {
+			errorJSON(w, runStatus(err), err)
+			return
+		}
 		applied, err := enricher.Apply(report, core.DefaultPolicy())
 		if err != nil {
 			errorJSON(w, http.StatusInternalServerError, err)
