@@ -1,13 +1,15 @@
 # bioenrich build/verify/bench entry points.
 #
-#   make verify   tier-1 gate: build + vet + race-enabled tests
+#   make verify   tier-1 gate: build + vet + lint + race-enabled tests
 #   make test     plain test run (what CI's quick loop wants)
+#   make lint     in-repo analyzers (cmd/biolint): determinism/context/obs/lock invariants
+#   make fuzz-smoke   10s native-fuzz pass over the tokenizer and corpus reader
 #   make bench    full benchmark sweep -> BENCH_<timestamp>.json
 #   make bench-enricher   just the worker-pool speedup pair
 
 GO ?= go
 
-.PHONY: verify build vet test race staticcheck bench bench-enricher
+.PHONY: verify build vet test race lint fuzz-smoke staticcheck bench bench-enricher
 
 build:
 	$(GO) build ./...
@@ -27,12 +29,32 @@ test:
 race:
 	$(GO) test -race ./internal/core ./internal/server ./internal/linkage ./internal/obs ./internal/senseind
 
-# staticcheck is advisory locally (skipped when the binary is absent);
-# CI pins a version and enforces it.
-staticcheck:
-	@command -v staticcheck >/dev/null 2>&1 && staticcheck ./... || echo "staticcheck not installed; skipping (CI enforces it)"
+# biolint is the repo's own analyzer suite (internal/lint, stdlib-only):
+# it mechanically enforces the determinism, context-propagation, obs
+# nil-safety and lock-discipline invariants the earlier PRs introduced.
+# Exits non-zero on any finding; suppressions require an annotated
+# reason (//biolint:allow <rule> <reason>). See DESIGN.md.
+lint:
+	$(GO) run ./cmd/biolint ./...
 
-verify: build vet test race
+# Short native-fuzz pass over the two untrusted-input parsers. CI runs
+# the same smoke lane; longer local sessions just raise -fuzztime.
+fuzz-smoke:
+	$(GO) test -fuzz 'FuzzTokenize' -fuzztime 10s ./internal/textutil
+	$(GO) test -fuzz 'FuzzReadJSONL' -fuzztime 10s ./internal/corpus
+
+# staticcheck is advisory locally (skipped when the binary is absent);
+# CI pins a version and enforces it. The if/else keeps a real
+# staticcheck failure fatal — an && || chain would mask it behind the
+# "not installed" fallback.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI enforces it)"; \
+	fi
+
+verify: build vet lint test race
 
 # Bench trajectory: one JSON-lines file per invocation (test2json
 # stream), named so successive runs accumulate side by side.

@@ -1,0 +1,78 @@
+// Command biolint runs the repo's custom static analyzers
+// (internal/lint) over the module and reports findings in vet's
+// file:line:col format, one per line, sorted by position so the
+// output is diffable in CI.
+//
+// Usage:
+//
+//	biolint [-C dir] [packages]
+//
+// packages default to ./... resolved in -C dir (default: the current
+// directory). Exit status: 0 clean, 1 findings, 2 usage or load
+// failure. Suppress a finding — with a recorded reason — via
+// `//biolint:allow <rule> <reason>` on the offending line or the line
+// above; see package lint for the rule catalogue (`biolint
+// -analyzers` lists it).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"bioenrich/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable streams and exit code, so the e2e tests
+// drive the driver in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("biolint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "resolve package patterns in `dir`")
+	listAnalyzers := fs.Bool("analyzers", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: biolint [-C dir] [-analyzers] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *listAnalyzers {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-20s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(*dir, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	findings := lint.Run(pkgs, lint.Analyzers())
+	base, err := filepath.Abs(*dir)
+	if err != nil {
+		base = *dir
+	}
+	for _, f := range findings {
+		// Paths print relative to -C dir: stable across checkouts, so
+		// CI output diffs cleanly against a previous run.
+		if rel, err := filepath.Rel(base, f.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
+			f.Pos.Filename = rel
+		}
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}

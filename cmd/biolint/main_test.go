@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixtureDir is the nested fixture module the analyzer golden tests
+// use; the e2e tests drive the real CLI entry point against it.
+func fixtureDir(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("..", "..", "internal", "lint", "testdata", "mod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// findingLine matches the vet-style output contract:
+// file.go:line:col: message [rule]
+var findingLine = regexp.MustCompile(`^[^:]+\.go:\d+:\d+: .+ \[[a-z-]+\]$`)
+
+func TestRunFixtureModuleFindings(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", fixtureDir(t), "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (findings expected)\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	out := strings.TrimRight(stdout.String(), "\n")
+	if out == "" {
+		t.Fatal("exit 1 but no findings printed")
+	}
+	lines := strings.Split(out, "\n")
+	for _, l := range lines {
+		if !findingLine.MatchString(l) {
+			t.Errorf("malformed finding line: %q", l)
+		}
+		if filepath.IsAbs(l) {
+			t.Errorf("finding path not relative to -C dir: %q", l)
+		}
+	}
+	// Every violation class the fixtures cover must surface.
+	for _, rule := range []string{
+		"[nondeterminism]",
+		"[context-background]",
+		"[obs-nilcheck]",
+		"[mutex-return]",
+		"[directive]",
+	} {
+		if !strings.Contains(out, rule) {
+			t.Errorf("no finding tagged %s\noutput:\n%s", rule, out)
+		}
+	}
+}
+
+func TestRunOutputIsDeterministic(t *testing.T) {
+	dir := fixtureDir(t)
+	var first string
+	for i := 0; i < 2; i++ {
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"-C", dir, "./..."}, &stdout, &stderr); code != 1 {
+			t.Fatalf("run %d: exit code = %d, want 1\nstderr:\n%s", i, code, stderr.String())
+		}
+		if i == 0 {
+			first = stdout.String()
+			continue
+		}
+		if got := stdout.String(); got != first {
+			t.Errorf("output differs between identical runs:\nfirst:\n%s\nsecond:\n%s", first, got)
+		}
+	}
+	// Findings must come out sorted by position.
+	lines := strings.Split(strings.TrimRight(first, "\n"), "\n")
+	for i := 1; i < len(lines); i++ {
+		if lines[i] < lines[i-1] && !sameFileOrdered(lines[i-1], lines[i]) {
+			t.Errorf("findings not sorted: %q before %q", lines[i-1], lines[i])
+		}
+	}
+}
+
+// sameFileOrdered reports whether two consecutive finding lines are
+// for the same file with non-decreasing line numbers (lexicographic
+// comparison of whole lines mis-orders 9 vs 10).
+func sameFileOrdered(prev, cur string) bool {
+	pf, pl := splitFinding(prev)
+	cf, cl := splitFinding(cur)
+	return pf == cf && pl <= cl
+}
+
+func splitFinding(s string) (file string, line int) {
+	parts := strings.SplitN(s, ":", 3)
+	if len(parts) < 2 {
+		return s, 0
+	}
+	n := 0
+	for _, r := range parts[1] {
+		n = n*10 + int(r-'0')
+	}
+	return parts[0], n
+}
+
+func TestRunCleanPackageExitsZero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", fixtureDir(t), "./pkgok"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run printed findings:\n%s", stdout.String())
+	}
+}
+
+func TestRunRepoTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", root, "./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("biolint on the repo tree: exit %d, want 0 — fix or annotate:\n%s%s",
+			code, stdout.String(), stderr.String())
+	}
+}
+
+func TestRunBadDirIsUsageError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", filepath.Join(fixtureDir(t), "no-such-dir"), "./..."}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 for unloadable dir\nstderr:\n%s", code, stderr.String())
+	}
+}

@@ -224,6 +224,7 @@ func (e *Enricher) IsPolysemic(c *corpus.Corpus, term string) bool {
 // worker writes into its candidate's pre-assigned slot, and clustering
 // seeds derive from the slot index rather than scheduling order.
 func (e *Enricher) Run() (*Report, error) {
+	//biolint:allow context-background documented uncancellable convenience wrapper
 	return e.RunContext(context.Background())
 }
 
@@ -331,11 +332,11 @@ func (e *Enricher) run(ctx context.Context) (*Report, error) {
 			active.Add(1)
 			var start time.Time
 			if timed {
-				start = time.Now()
+				start = obs.Now()
 			}
 			e.enrichCandidate(ctx, &report.Candidates[slot], linker, inducer, int64(slot), spans)
 			if timed {
-				busy.Add(time.Since(start).Seconds())
+				busy.Add(obs.Since(start).Seconds())
 			}
 			active.Add(-1)
 		}
@@ -362,11 +363,11 @@ func (e *Enricher) run(ctx context.Context) (*Report, error) {
 				active.Add(1)
 				var start time.Time
 				if timed {
-					start = time.Now()
+					start = obs.Now()
 				}
 				e.enrichCandidate(ctx, &report.Candidates[slot], linker, inducer, int64(slot), spans)
 				if timed {
-					busy.Add(time.Since(start).Seconds())
+					busy.Add(obs.Since(start).Seconds())
 				}
 				active.Add(-1)
 			}
@@ -405,7 +406,7 @@ func (e *Enricher) enrichCandidate(ctx context.Context, cand *Candidate, linker 
 	timed := spans.s2 != nil
 	var t0 time.Time
 	if timed {
-		t0 = time.Now()
+		t0 = obs.Now()
 	}
 
 	// Step II: polysemy prediction.
@@ -413,7 +414,7 @@ func (e *Enricher) enrichCandidate(ctx context.Context, cand *Candidate, linker 
 		cand.Polysemic = e.detector.IsPolysemic(e.c, cand.Term)
 	}
 	if timed {
-		t1 := time.Now()
+		t1 := obs.Now()
 		spans.s2.AddBatch(t1.Sub(t0))
 		t0 = t1
 	}
@@ -429,7 +430,7 @@ func (e *Enricher) enrichCandidate(ctx context.Context, cand *Candidate, linker 
 		cand.Senses = senses
 	}
 	if timed {
-		t1 := time.Now()
+		t1 := obs.Now()
 		spans.s3.AddBatch(t1.Sub(t0))
 		t0 = t1
 	}
@@ -442,7 +443,7 @@ func (e *Enricher) enrichCandidate(ctx context.Context, cand *Candidate, linker 
 		cand.Positions = props
 	}
 	if timed {
-		spans.s4.AddBatch(time.Since(t0))
+		spans.s4.AddBatch(obs.Since(t0))
 	}
 
 	// Future-work extension: typed relations between the candidate

@@ -30,6 +30,7 @@ type RoundReport struct {
 // n+1's anchors depend on round n's Apply. RunRounds is
 // RunRoundsContext with context.Background(): it cannot be cancelled.
 func (e *Enricher) RunRounds(rounds int, policy AttachPolicy) ([]RoundReport, error) {
+	//biolint:allow context-background documented uncancellable convenience wrapper
 	return e.RunRoundsContext(context.Background(), rounds, policy)
 }
 

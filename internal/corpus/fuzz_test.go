@@ -1,0 +1,59 @@
+package corpus
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bioenrich/internal/textutil"
+)
+
+// FuzzReadJSONL feeds arbitrary byte streams to the JSONL reader. The
+// reader may reject input (malformed lines return an error with a line
+// number), but it must never panic, and any corpus it does accept must
+// round-trip: write it back out, read it again, and the document set
+// must survive unchanged.
+func FuzzReadJSONL(f *testing.F) {
+	f.Add(`{"id":"d1","title":"BCC","text":"basal cell carcinoma of the skin"}`)
+	f.Add(`{"id":"d1","title":"t","text":"alpha beta"}` + "\n" +
+		`{"id":"d2","title":"u","text":"beta gamma"}`)
+	f.Add("")
+	f.Add("\n\n\n")
+	f.Add(`{"id":"d1"}`)
+	f.Add(`not json at all`)
+	f.Add(`{"id":"d1","title":"t","text":"a"}` + "\n" + `{broken`)
+	f.Add(`{"id":"é","title":"accenté","text":"café au lait"}`)
+	f.Add("{\"id\":\"d1\",\"title\":\"t\",\"text\":\"" + strings.Repeat("x ", 200) + "\"}")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		c, err := ReadJSONL(strings.NewReader(data), textutil.English)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if c == nil {
+			t.Fatal("ReadJSONL returned nil corpus with nil error")
+		}
+
+		// Round-trip: the accepted corpus must serialize and re-read to
+		// the same document set.
+		var buf bytes.Buffer
+		if err := c.WriteJSONL(&buf); err != nil {
+			t.Fatalf("WriteJSONL on accepted corpus: %v", err)
+		}
+		c2, err := ReadJSONL(&buf, textutil.English)
+		if err != nil {
+			t.Fatalf("re-read of written corpus: %v", err)
+		}
+		if c2.NumDocs() != c.NumDocs() {
+			t.Fatalf("round-trip doc count: got %d, want %d", c2.NumDocs(), c.NumDocs())
+		}
+		for i := 0; i < c.NumDocs(); i++ {
+			if c.Doc(i) != c2.Doc(i) {
+				t.Fatalf("round-trip doc %d: got %+v, want %+v", i, c2.Doc(i), c.Doc(i))
+			}
+		}
+		if c2.NumTokens() != c.NumTokens() {
+			t.Fatalf("round-trip token count: got %d, want %d", c2.NumTokens(), c.NumTokens())
+		}
+	})
+}

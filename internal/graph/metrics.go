@@ -97,7 +97,9 @@ func (g *Graph) BFSDistances(src string) map[string]int {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for nb := range g.adj[v] {
+		// Neighbors returns sorted names, so the traversal (and any
+		// future tie-breaking on it) is canonical.
+		for _, nb := range g.Neighbors(v) {
 			if _, seen := dist[nb]; !seen {
 				dist[nb] = dist[v] + 1
 				queue = append(queue, nb)

@@ -151,6 +151,7 @@ func (l *Linker) contextVector(term string) sparse.Vector {
 // best first. The candidate must occur in the corpus. Propose is
 // ProposeContext with context.Background(): it cannot be cancelled.
 func (l *Linker) Propose(candidate string, topN int) ([]Proposal, error) {
+	//biolint:allow context-background documented uncancellable convenience wrapper
 	return l.ProposeContext(context.Background(), candidate, topN)
 }
 

@@ -1,0 +1,38 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ContextBackground enforces the context-threading discipline PR 3
+// established: library code under internal/ receives its lifetime
+// from the caller and must not mint a root context. The documented
+// uncancellable convenience wrappers (core.Run, core.RunRounds,
+// linkage.Propose, senseind.Induce) carry //biolint:allow annotations
+// rather than being exempted here — the escape hatch leaves an
+// auditable trail at the call site. Commands under cmd/ legitimately
+// create root contexts and are out of scope.
+var ContextBackground = &Analyzer{
+	Name: "context-background",
+	Doc:  "internal packages must thread the caller's context, not mint context.Background()/TODO()",
+	Run:  runContextBackground,
+}
+
+func runContextBackground(p *Pass) {
+	if !strings.Contains(p.Pkg.PkgPath, "internal/") {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkg, name := calleePkgFunc(p.Pkg.Info, call); pkg == "context" && (name == "Background" || name == "TODO") {
+				p.Reportf(call.Pos(), "context.%s() in internal package %s: accept a context.Context from the caller", name, p.Pkg.PkgPath)
+			}
+			return true
+		})
+	}
+}

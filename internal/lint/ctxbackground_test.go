@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"bioenrich/internal/lint"
+)
+
+// TestContextBackgroundGolden covers Background/TODO findings, the
+// //biolint:allow escape hatch (line-above and same-line), directive
+// misuse (unknown rule, spaced marker), and the internal/-only scope
+// (pkgok may mint a root context).
+func TestContextBackgroundGolden(t *testing.T) {
+	pkgs := loadFixture(t, "./internal/ctxwrap", "./pkgok")
+	checkWant(t, pkgs, lint.Run(pkgs, []*lint.Analyzer{lint.ContextBackground}))
+}

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseOne builds a comments-only Package (no type information —
+// collectDirectives never needs it) from inline source.
+func parseOne(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return &Package{PkgPath: "x/internal/x", Fset: fset, Files: []*ast.File{file}}
+}
+
+func TestDirectiveMissingReason(t *testing.T) {
+	pkg := parseOne(t, `package x
+
+func f() {
+	//biolint:allow context-background
+	_ = 1
+}
+`)
+	_, bad := collectDirectives(pkg, map[string]bool{"context-background": true})
+	if len(bad) != 1 || !strings.Contains(bad[0].Message, "malformed") {
+		t.Fatalf("want one malformed-directive finding, got %v", bad)
+	}
+	if bad[0].Rule != "directive" {
+		t.Fatalf("want rule %q, got %q", "directive", bad[0].Rule)
+	}
+}
+
+func TestDirectiveBareMarker(t *testing.T) {
+	pkg := parseOne(t, `package x
+
+//biolint:allow
+func f() {}
+`)
+	_, bad := collectDirectives(pkg, map[string]bool{"context-background": true})
+	if len(bad) != 1 || !strings.Contains(bad[0].Message, "malformed") {
+		t.Fatalf("want one malformed-directive finding, got %v", bad)
+	}
+}
+
+func TestDirectiveWellFormedSuppresses(t *testing.T) {
+	pkg := parseOne(t, `package x
+
+func f() {
+	//biolint:allow context-background documented wrapper
+	_ = 1
+}
+`)
+	dirs, bad := collectDirectives(pkg, map[string]bool{"context-background": true})
+	if len(bad) != 0 {
+		t.Fatalf("well-formed directive reported: %v", bad)
+	}
+	f := Finding{Rule: "context-background"}
+	f.Pos.Filename = "fixture.go"
+	f.Pos.Line = 5 // the statement line under the directive
+	if !dirs.allows(f) {
+		t.Fatalf("directive does not suppress the next line")
+	}
+	f.Pos.Line = 7
+	if dirs.allows(f) {
+		t.Fatalf("directive leaks past its line and the next")
+	}
+	f.Pos.Line = 5
+	f.Rule = "nondeterminism"
+	if dirs.allows(f) {
+		t.Fatalf("directive suppresses a rule it does not name")
+	}
+}

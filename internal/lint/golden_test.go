@@ -1,0 +1,83 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"bioenrich/internal/lint"
+)
+
+// The golden harness mirrors x/tools' analysistest on stdlib only:
+// fixture packages live in the nested module under testdata/mod (the
+// go tool ignores testdata, so the fixtures never join the repo
+// build), and a `// want "regexp"` comment demands a finding whose
+// message matches on that line. Findings without a want, and wants
+// without a finding, both fail the test.
+
+// loadFixture loads fixture packages from the nested module.
+func loadFixture(t *testing.T, patterns ...string) []*lint.Package {
+	t.Helper()
+	pkgs, err := lint.Load(filepath.Join("testdata", "mod"), patterns)
+	if err != nil {
+		t.Fatalf("loading fixture %v: %v", patterns, err)
+	}
+	return pkgs
+}
+
+var (
+	wantRE   = regexp.MustCompile(`// want (.+)$`)
+	quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+)
+
+// checkWant compares findings against the fixtures' want
+// expectations, line by line.
+func checkWant(t *testing.T, pkgs []*lint.Package, findings []lint.Finding) {
+	t.Helper()
+	type lineKey struct {
+		file string
+		line int
+	}
+	wants := make(map[lineKey][]*regexp.Regexp)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					k := lineKey{pos.Filename, pos.Line}
+					for _, q := range quotedRE.FindAllStringSubmatch(m[1], -1) {
+						re, err := regexp.Compile(q[1])
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, q[1], err)
+						}
+						wants[k] = append(wants[k], re)
+					}
+				}
+			}
+		}
+	}
+	for _, f := range findings {
+		k := lineKey{f.Pos.Filename, f.Pos.Line}
+		matched := -1
+		for i, re := range wants[k] {
+			if re.MatchString(f.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected finding: %s", f)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: no finding matching %q", k.file, k.line, re)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// MutexReturn protects the lock discipline the server's read/write
+// split (PR 3) relies on: between a bare mu.Lock() / mu.RLock() and
+// its matching unlock, with no `defer mu.Unlock()` in force, a
+// `return` leaks the lock and deadlocks the next writer. The scan is
+// source-ordered and intentionally conservative — an early unlock
+// inside a branch (`if x { mu.Unlock(); return }`) releases the
+// critical section for the rest of the scan, trading a few false
+// negatives for zero false positives on the defer-everything style
+// the repo uses.
+var MutexReturn = &Analyzer{
+	Name: "mutex-return",
+	Doc:  "no return between a bare Lock()/RLock() and its Unlock when no defer is in force",
+	Run:  runMutexReturn,
+}
+
+// lockPair maps a sync lock method to the unlock that releases it.
+var lockPair = map[string]string{
+	"Lock":  "Unlock",
+	"RLock": "RUnlock",
+}
+
+func runMutexReturn(p *Pass) {
+	forEachFunc(p.Pkg, func(fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			checkLockBlock(p, block)
+			return true
+		})
+	})
+}
+
+// checkLockBlock scans one statement list for Lock() calls and flags
+// returns reachable before the matching unlock.
+func checkLockBlock(p *Pass, block *ast.BlockStmt) {
+	for i, stmt := range block.List {
+		key, unlock := lockStmt(p.Pkg, stmt)
+		if key == "" {
+			continue
+		}
+	scan:
+		for _, later := range block.List[i+1:] {
+			for _, ev := range lockEvents(p.Pkg, later, key, unlock) {
+				switch ev.kind {
+				case evDeferUnlock, evUnlock:
+					break scan
+				case evReturn:
+					p.Reportf(ev.pos, "return while %s.%s() is held with no defer %s.%s(): the lock leaks", key, pairName(unlock), key, unlock)
+				}
+			}
+		}
+	}
+}
+
+func pairName(unlock string) string {
+	for lock, u := range lockPair {
+		if u == unlock {
+			return lock
+		}
+	}
+	return "Lock"
+}
+
+// lockStmt recognizes a bare `expr.Lock()` / `expr.RLock()` statement
+// on a sync.Mutex/RWMutex (including one embedded or reached through
+// fields), returning the rendered lock expression as a matching key
+// and the expected unlock method name.
+func lockStmt(pkg *Package, stmt ast.Stmt) (key, unlock string) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return "", ""
+	}
+	return lockCall(pkg, es.X, lockPair)
+}
+
+// lockCall matches a call expression against the given method→pair
+// table, requiring the method to come from package sync.
+func lockCall(pkg *Package, e ast.Expr, methods map[string]string) (key, pair string) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	pair, ok = methods[sel.Sel.Name]
+	if !ok {
+		return "", ""
+	}
+	selection, ok := pkg.Info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return "", ""
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	return renderExpr(pkg.Fset, sel.X), pair
+}
+
+// renderExpr prints an expression for use as a lock identity key, so
+// `s.mu.Lock()` pairs with `s.mu.Unlock()` but not `s.other.Unlock()`.
+func renderExpr(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}
+
+type eventKind int
+
+const (
+	evReturn eventKind = iota
+	evUnlock
+	evDeferUnlock
+)
+
+type lockEvent struct {
+	pos  token.Pos
+	kind eventKind
+}
+
+// lockEvents flattens one statement (including nested blocks, but not
+// function literals — their returns and unlocks have their own
+// lifetime) into the source-ordered return/unlock events relevant to
+// the lock identified by key.
+func lockEvents(pkg *Package, stmt ast.Stmt, key, unlock string) []lockEvent {
+	unlockOnly := map[string]string{unlock: unlock}
+	isUnlock := func(e ast.Expr) bool {
+		k, _ := lockCall(pkg, e, unlockOnly)
+		return k == key
+	}
+	var evs []lockEvent
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			evs = append(evs, lockEvent{s.Pos(), evReturn})
+		case *ast.DeferStmt:
+			if isUnlock(s.Call) {
+				evs = append(evs, lockEvent{s.Pos(), evDeferUnlock})
+			}
+		case *ast.ExprStmt:
+			if isUnlock(s.X) {
+				evs = append(evs, lockEvent{s.Pos(), evUnlock})
+			}
+		}
+		return true
+	})
+	return evs
+}

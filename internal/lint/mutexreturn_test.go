@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"bioenrich/internal/lint"
+)
+
+// TestMutexReturnGolden covers the leak-on-return pattern for both
+// Mutex and RWMutex read locks, the defer and explicit-early-unlock
+// safe forms, lock identity (unlocking a different mutex does not
+// release), and func-literal scoping.
+func TestMutexReturnGolden(t *testing.T) {
+	pkgs := loadFixture(t, "./internal/srv")
+	checkWant(t, pkgs, lint.Run(pkgs, []*lint.Analyzer{lint.MutexReturn}))
+}

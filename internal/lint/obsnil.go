@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ObsNilCheck guards the observability contract from PR 2: every
+// exported method on an exported pointer-receiver type in
+// internal/obs is a no-op on a nil receiver, so instrumented code
+// never guards its metric handles. The analyzer flags any such method
+// whose first receiver dereference (field access, *recv, recv[i])
+// occurs before a `recv == nil` / `recv != nil` comparison. Calling
+// another method on the receiver is not a dereference — that is
+// exactly how Counter.Inc delegates its nil handling to Counter.Add.
+// Unexported methods are out of scope: they run behind the exported
+// guards, and padding them with redundant checks would bury the
+// contract instead of stating it.
+var ObsNilCheck = &Analyzer{
+	Name: "obs-nilcheck",
+	Doc:  "exported obs methods must nil-check the receiver before dereferencing it",
+	Run:  runObsNilCheck,
+}
+
+func runObsNilCheck(p *Pass) {
+	if !strings.HasSuffix(p.Pkg.PkgPath, "internal/obs") {
+		return
+	}
+	forEachFunc(p.Pkg, func(fd *ast.FuncDecl) {
+		if fd.Recv == nil || !fd.Name.IsExported() || len(fd.Recv.List) == 0 {
+			return
+		}
+		field := fd.Recv.List[0]
+		star, ok := field.Type.(*ast.StarExpr)
+		if !ok {
+			return // value receiver: a copy, nil cannot reach it
+		}
+		typeName := receiverTypeName(star.X)
+		if typeName == "" || !token.IsExported(typeName) {
+			return
+		}
+		if len(field.Names) == 0 || field.Names[0].Name == "_" {
+			return // unnamed receiver can never be dereferenced
+		}
+		recv := p.Pkg.Info.Defs[field.Names[0]]
+		if recv == nil {
+			return
+		}
+		deref, check := derefAndNilCheck(p.Pkg.Info, fd.Body, recv)
+		if deref != token.NoPos && (check == token.NoPos || deref < check) {
+			p.Reportf(deref, "method (*%s).%s dereferences receiver %s before nil check; a nil *%s must be a no-op",
+				typeName, fd.Name.Name, field.Names[0].Name, typeName)
+		}
+	})
+}
+
+// receiverTypeName unwraps *T / T / generic instantiations to the
+// receiver type's name.
+func receiverTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr:
+		return receiverTypeName(t.X)
+	case *ast.IndexListExpr:
+		return receiverTypeName(t.X)
+	}
+	return ""
+}
+
+// derefAndNilCheck walks body in source order returning the position
+// of the first receiver dereference and of the first nil comparison
+// against the receiver (either may be NoPos). Source-order positions
+// decide "before": in `if s == nil || s.x > 0`, the comparison
+// precedes the dereference, matching Go's left-to-right short-circuit
+// evaluation.
+func derefAndNilCheck(info *types.Info, body *ast.BlockStmt, recv types.Object) (deref, check token.Pos) {
+	isRecv := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && info.Uses[id] == recv
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.BinaryExpr:
+			if check == token.NoPos && (e.Op == token.EQL || e.Op == token.NEQ) {
+				nilLeft := isUntypedNil(info, e.X)
+				nilRight := isUntypedNil(info, e.Y)
+				if (isRecv(e.X) && nilRight) || (nilLeft && isRecv(e.Y)) {
+					check = e.Pos()
+				}
+			}
+		case *ast.SelectorExpr:
+			if deref == token.NoPos && isRecv(e.X) {
+				if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+					deref = e.Pos()
+				}
+			}
+		case *ast.StarExpr:
+			if deref == token.NoPos && isRecv(e.X) {
+				deref = e.Pos()
+			}
+		case *ast.IndexExpr:
+			if deref == token.NoPos && isRecv(e.X) {
+				deref = e.Pos()
+			}
+		}
+		return true
+	})
+	return deref, check
+}
+
+func isUntypedNil(info *types.Info, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name != "nil" {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}

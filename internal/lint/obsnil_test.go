@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"bioenrich/internal/lint"
+)
+
+// TestObsNilCheckGolden covers deref-before-check (straight and
+// late), the safe short-circuit form, method delegation, and the
+// exported-only scope (unexported methods and types, value
+// receivers).
+func TestObsNilCheckGolden(t *testing.T) {
+	pkgs := loadFixture(t, "./internal/obs")
+	checkWant(t, pkgs, lint.Run(pkgs, []*lint.Analyzer{lint.ObsNilCheck}))
+}

@@ -1,0 +1,37 @@
+// Package ctxwrap is a biolint fixture for the context-threading rule
+// and the //biolint:allow directive grammar.
+package ctxwrap
+
+import "context"
+
+// Root mints a root context in library code.
+func Root() context.Context {
+	return context.Background() // want "context.Background"
+}
+
+// Todo is no better.
+func Todo() context.Context {
+	return context.TODO() // want "context.TODO"
+}
+
+// Wrapped is the documented convenience-wrapper pattern: annotated,
+// with a reason, on the line above the call.
+func Wrapped() context.Context {
+	//biolint:allow context-background documented uncancellable convenience wrapper
+	return context.Background()
+}
+
+// Trailing shows a same-line directive.
+func Trailing() context.Context {
+	return context.TODO() //biolint:allow context-background fixture for same-line escape hatch
+}
+
+func unknownRule() context.Context {
+	//biolint:allow no-such-rule typos must fail loudly // want "unknown rule"
+	return context.TODO() // want "context.TODO"
+}
+
+func spacedMarker() context.Context {
+	// biolint:allow context-background spaced markers are inert // want "must start with"
+	return context.Background() // want "context.Background"
+}

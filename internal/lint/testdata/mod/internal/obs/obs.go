@@ -1,0 +1,56 @@
+// Package obs is a biolint fixture for the nil-receiver contract:
+// exported methods on exported pointer-receiver types must nil-check
+// the receiver before dereferencing it.
+package obs
+
+// Counter is nil-safe except where the fixture says otherwise.
+type Counter struct {
+	n int64
+}
+
+// Inc delegates — calling a method on a nil receiver is legal, and
+// Add does the checking.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add checks before touching fields.
+func (c *Counter) Add(v int64) {
+	if c == nil {
+		return
+	}
+	c.n += v
+}
+
+// Value dereferences before any check.
+func (c *Counter) Value() int64 {
+	return c.n // want "dereferences receiver"
+}
+
+// IsZero checks and dereferences in one short-circuit expression —
+// the comparison precedes the field access, so this is safe.
+func (c *Counter) IsZero() bool {
+	return c == nil || c.n == 0
+}
+
+// LateCheck dereferences first and checks too late.
+func (c *Counter) LateCheck() int64 {
+	v := c.n // want "dereferences receiver"
+	if c == nil {
+		return 0
+	}
+	return v
+}
+
+// reset is unexported: it runs behind the exported guards.
+func (c *Counter) reset() { c.n = 0 }
+
+// gauge is an unexported type: out of contract scope.
+type gauge struct{ v float64 }
+
+// Set on an unexported type is not part of the exported API.
+func (g *gauge) Set(v float64) { g.v = v }
+
+// Snapshot methods take a value receiver: nil cannot reach them.
+type Snapshot struct{ total int64 }
+
+// Total never sees a nil receiver.
+func (s Snapshot) Total() int64 { return s.total }

@@ -1,0 +1,74 @@
+// Package srv is a biolint fixture for lock discipline: no return
+// while a bare Lock()/RLock() is held without a defer in force.
+package srv
+
+import "sync"
+
+// Store is a lock-guarded counter.
+type Store struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// LeakOnReturn returns mid-critical-section.
+func (s *Store) LeakOnReturn() int {
+	s.mu.Lock()
+	if s.n > 0 {
+		return s.n // want "return while s.mu.Lock"
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// DeferGuard is the house style.
+func (s *Store) DeferGuard() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n > 0 {
+		return s.n
+	}
+	return 0
+}
+
+// EarlyUnlock releases on the early path explicitly.
+func (s *Store) EarlyUnlock() int {
+	s.mu.Lock()
+	if s.n > 0 {
+		s.mu.Unlock()
+		return s.n
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// ReadLeak leaks a read lock.
+func (s *Store) ReadLeak() int {
+	s.rw.RLock()
+	if s.n > 0 {
+		return s.n // want "return while s.rw.RLock"
+	}
+	s.rw.RUnlock()
+	return 0
+}
+
+// WrongMutex releases a different lock — the return still leaks mu.
+func (s *Store) WrongMutex() int {
+	s.mu.Lock()
+	s.rw.RLock()
+	s.rw.RUnlock()
+	if s.n > 0 {
+		return s.n // want "return while s.mu.Lock"
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// Closure returns inside a func literal — not a leak of this frame's
+// critical section.
+func (s *Store) Closure() func() int {
+	s.mu.Lock()
+	f := func() int { return s.n }
+	s.mu.Unlock()
+	return f
+}

@@ -1,0 +1,29 @@
+// Package util is a biolint fixture for a non-pipeline internal
+// package: wall-clock reads and unsorted map accumulation are
+// tolerated here, but the global math/rand source stays banned
+// module-wide.
+package util
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Timestamp may read the clock: util is not a pipeline package.
+func Timestamp() time.Time {
+	return time.Now()
+}
+
+// Keys may leak map order: util's output feeds no reproduced number.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Jitter still may not touch the global source.
+func Jitter() float64 {
+	return rand.Float64() // want "call to global rand.Float64"
+}

@@ -1,0 +1,10 @@
+// Package pkgok is a biolint fixture outside internal/: entry points
+// at the module surface may own a root context.
+package pkgok
+
+import "context"
+
+// Root is fine here.
+func Root() context.Context {
+	return context.Background()
+}

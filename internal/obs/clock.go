@@ -1,0 +1,19 @@
+package obs
+
+import "time"
+
+// Now and Since are the sanctioned wall-clock reads for pipeline
+// packages. The determinism invariant (enforced by biolint's
+// nondeterminism analyzer) bans direct time.Now/time.Since calls in
+// termex, polysemy, senseind, linkage, core, synth, cluster, ml,
+// sparse and graph: any clock read there is either a reproducibility
+// bug or instrumentation, and instrumentation belongs to obs. Routing
+// timing through these helpers keeps the pipeline mechanically
+// greppable — a raw clock read in a pipeline package is always a
+// finding, never a judgment call.
+
+// Now returns the current wall-clock time for instrumentation.
+func Now() time.Time { return time.Now() }
+
+// Since returns the wall-clock time elapsed since t.
+func Since(t time.Time) time.Duration { return time.Since(t) }

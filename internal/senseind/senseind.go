@@ -94,6 +94,7 @@ func (in Inducer) WithSeed(seed int64) *Inducer {
 // known from step II. Induce is InduceContext with
 // context.Background(): it cannot be cancelled.
 func (in *Inducer) Induce(c *corpus.Corpus, term string, polysemic bool) (*Result, error) {
+	//biolint:allow context-background documented uncancellable convenience wrapper
 	return in.InduceContext(context.Background(), c, term, polysemic)
 }
 

@@ -2,6 +2,7 @@ package termex
 
 import (
 	"math"
+	"sort"
 
 	"bioenrich/internal/graph"
 )
@@ -31,6 +32,7 @@ func (e *Extractor) terGraphScores() map[string]float64 {
 	for term := range e.freq {
 		candidates = append(candidates, term)
 	}
+	sort.Strings(candidates) // canonical vocabulary order, whatever map iteration did
 	g := e.c.TermCooccurrenceGraph(candidates, terGraphWindow)
 	const isolatedEps = 1e-3
 	out := make(map[string]float64, len(e.freq))
@@ -59,5 +61,6 @@ func (e *Extractor) CandidateGraph() *graph.Graph {
 	for term := range e.freq {
 		candidates = append(candidates, term)
 	}
+	sort.Strings(candidates) // canonical vocabulary order, whatever map iteration did
 	return e.c.TermCooccurrenceGraph(candidates, terGraphWindow)
 }
