@@ -23,11 +23,12 @@ test:
 # The race detector is the proof obligation for the enricher worker
 # pool (including its cancellation paths), the linkage context-vector
 # cache, sense induction's context-aware entry points, the obs metrics
-# registry and the server's lock discipline; these packages are where
-# the concurrency lives, the rest ride along for free. CI
-# (.github/workflows/ci.yml) runs the same gate.
+# registry, the snapshot store's epoch-checked commits, the async job
+# manager's lifecycle and the server's snapshot-isolated serving;
+# these packages are where the concurrency lives, the rest ride along
+# for free. CI (.github/workflows/ci.yml) runs the same gate.
 race:
-	$(GO) test -race ./internal/core ./internal/server ./internal/linkage ./internal/obs ./internal/senseind
+	$(GO) test -race ./internal/core ./internal/server ./internal/linkage ./internal/obs ./internal/senseind ./internal/state ./internal/jobs
 
 # biolint is the repo's own analyzer suite (internal/lint, stdlib-only):
 # it mechanically enforces the determinism, context-propagation, obs

@@ -7,23 +7,32 @@
 //	serve -corpus data/corpus.json -ontology data/ontology.json \
 //	      [-addr :8080] [-workers N] [-shutdown-timeout 10s] \
 //	      [-enrich-timeout 2m] [-metrics=true] [-pprof] \
-//	      [-log-level info] [-max-body 8388608]
+//	      [-log-level info] [-max-body 8388608] \
+//	      [-job-queue 16] [-job-workers 1] [-job-ttl 15m]
 //
 // The server is configured with conservative read/write timeouts so a
 // slow or stalled client cannot pin a connection forever, and shuts
 // down gracefully on SIGINT/SIGTERM: in-flight requests get up to
 // -shutdown-timeout to complete before the process exits.
-// -enrich-timeout additionally deadlines each POST /enrich pipeline
-// run (504 past it); a client that disconnects mid-run cancels the
-// run either way.
+// -enrich-timeout additionally deadlines each enrichment run —
+// synchronous POST /v1/enrich (504 past it) and background job runs
+// alike; a client that disconnects mid-run cancels a synchronous run
+// either way.
+//
+// Async jobs: POST /v1/jobs/enrich queues an enrichment run against
+// the snapshot current at submission. -job-queue bounds how many may
+// wait (429 past it), -job-workers how many run concurrently, and
+// -job-ttl how long finished jobs stay pollable before garbage
+// collection (negative retains forever). On SIGINT/SIGTERM running
+// jobs are cancelled along with the HTTP drain.
 //
 // Observability: -metrics (on by default) serves the Prometheus
-// exposition at GET /metrics — per-endpoint request counts and
-// latency histograms, plus per-step pipeline durations once /enrich
-// has run. -pprof additionally mounts net/http/pprof under
-// /debug/pprof/ (off by default: it is a profiling surface).
-// -log-level gates the structured (log/slog) access log; "warn" or
-// higher silences per-request lines.
+// exposition at GET /v1/metrics — per-endpoint request counts and
+// latency histograms, job-subsystem gauges/counters, plus per-step
+// pipeline durations once an enrichment has run. -pprof additionally
+// mounts net/http/pprof under /debug/pprof/ (off by default: it is a
+// profiling surface). -log-level gates the structured (log/slog)
+// access log; "warn" or higher silences per-request lines.
 //
 // See internal/server for the endpoint list.
 package main
@@ -60,6 +69,9 @@ func main() {
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error (info logs every request)")
 	maxBody := flag.Int64("max-body", 0, "POST body cap in bytes (0 = default 8 MiB, negative = unlimited)")
+	jobQueue := flag.Int("job-queue", 0, "max queued async enrichment jobs; submissions past it get 429 (0 = default 16)")
+	jobWorkers := flag.Int("job-workers", 0, "concurrent async job runners (0 = default 1)")
+	jobTTL := flag.Duration("job-ttl", 0, "retention for finished jobs before GC (0 = default 15m, negative = forever)")
 	flag.Parse()
 
 	level, err := obs.ParseLevel(*logLevel)
@@ -90,14 +102,18 @@ func main() {
 		MaxBodyBytes:  *maxBody,
 		AccessLog:     logger,
 		EnrichTimeout: *enrichTimeout,
+		JobQueue:      *jobQueue,
+		JobWorkers:    *jobWorkers,
+		JobTTL:        *jobTTL,
 	}
 	if *metrics {
 		opts.Obs = obs.New()
 	}
 
+	app := server.NewWithOptions(c, o, cfg, opts)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.NewWithOptions(c, o, cfg, opts).Handler(),
+		Handler:           app.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       *readTimeout,
 		WriteTimeout:      *writeTimeout,
@@ -106,6 +122,9 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	// Job workers live under the signal context: SIGINT/SIGTERM cancels
+	// running jobs alongside the HTTP drain.
+	app.Start(ctx)
 
 	errc := make(chan error, 1)
 	go func() {
@@ -131,6 +150,7 @@ func main() {
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fatal(logger, "serve", err)
 		}
+		app.Wait() // job workers exit after the signal context cancelled
 		logger.Info("stopped cleanly")
 	}
 }

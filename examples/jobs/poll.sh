@@ -1,0 +1,57 @@
+#!/bin/sh
+# Async enrichment over the /v1 job API: submit a job, poll it to a
+# terminal state, print the result. Demonstrates that the server keeps
+# answering reads instantly while the job grinds, and the 409 you get
+# from cancelling a finished job.
+#
+# Prereqs: a running server and curl; jq is optional (nicer output).
+#
+#	go run ./cmd/gencorpus -out data/
+#	go run ./cmd/serve -corpus data/corpus.json -ontology data/ontology.json &
+#	sh examples/jobs/poll.sh
+set -eu
+
+BASE="${BASE:-http://localhost:8080}"
+
+# Pretty-print JSON when jq is around, pass through otherwise.
+if command -v jq >/dev/null 2>&1; then
+	pretty() { jq .; }
+	field() { jq -r ".$1"; }
+else
+	pretty() { cat; echo; }
+	# crude single-field extraction, good enough for id/status
+	field() { sed -n "s/.*\"$1\":\"\{0,1\}\([^\",}]*\)\"\{0,1\}.*/\1/p" | head -n 1; }
+fi
+
+echo "== current snapshot epoch"
+curl -fsS "$BASE/v1/health" | pretty
+
+echo
+echo "== submit an enrichment job (202 Accepted)"
+SUBMIT=$(curl -fsS -X POST "$BASE/v1/jobs/enrich" \
+	-H 'Content-Type: application/json' \
+	-d '{"top":10,"apply":true}')
+printf '%s' "$SUBMIT" | pretty
+JOB=$(printf '%s' "$SUBMIT" | field id)
+echo "job id: $JOB"
+
+echo
+echo "== poll until terminal (reads stay instant meanwhile)"
+while :; do
+	STATUS=$(curl -fsS "$BASE/v1/jobs/$JOB" | field status)
+	# interleave a read to show it is never blocked by the running job
+	DOCS=$(curl -fsS "$BASE/v1/health" | field docs)
+	echo "job $JOB: $STATUS (health answered instantly: $DOCS docs)"
+	case "$STATUS" in
+	done | failed | cancelled) break ;;
+	esac
+	sleep 1
+done
+
+echo
+echo "== final job record"
+curl -fsS "$BASE/v1/jobs/$JOB" | pretty
+
+echo
+echo "== cancelling a finished job is a conflict (HTTP 409)"
+curl -sS -X DELETE "$BASE/v1/jobs/$JOB" | pretty

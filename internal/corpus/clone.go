@@ -1,0 +1,31 @@
+package corpus
+
+// Clone returns a deep copy of the corpus: documents, token streams,
+// the positional index and the frequency statistics are all copied,
+// so mutating and rebuilding the clone (Add/AddAll + Build) never
+// disturbs the original. This is the corpus half of the server's
+// copy-on-write snapshot commit (internal/state): readers keep
+// querying the original while a writer grows the clone.
+func (c *Corpus) Clone() *Corpus {
+	out := &Corpus{
+		lang:  c.lang,
+		docs:  append([]Document(nil), c.docs...),
+		built: c.built,
+		total: c.total,
+		index: make(map[string][]Posting, len(c.index)),
+		df:    make(map[string]int, len(c.df)),
+	}
+	if c.tokens != nil {
+		out.tokens = make([][]string, len(c.tokens))
+		for i, toks := range c.tokens {
+			out.tokens[i] = append([]string(nil), toks...)
+		}
+	}
+	for tok, postings := range c.index {
+		out.index[tok] = append([]Posting(nil), postings...)
+	}
+	for tok, n := range c.df {
+		out.df[tok] = n
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+package corpus
+
+import (
+	"reflect"
+	"testing"
+
+	"bioenrich/internal/textutil"
+)
+
+// TestCloneIndependence proves a clone answers queries identically and
+// that growing + rebuilding it leaves the original untouched — the
+// property the server's copy-on-write document commits rely on.
+func TestCloneIndependence(t *testing.T) {
+	c := New(textutil.English)
+	c.AddAll([]Document{
+		{ID: "1", Text: "Corneal abrasion with epithelium scarring."},
+		{ID: "2", Text: "Membrane grafts after corneal injury."},
+	})
+	c.Build()
+
+	cl := c.Clone()
+	if cl.NumDocs() != c.NumDocs() || cl.NumTokens() != c.NumTokens() {
+		t.Fatalf("clone shape: docs %d/%d tokens %d/%d",
+			cl.NumDocs(), c.NumDocs(), cl.NumTokens(), c.NumTokens())
+	}
+	if got, want := cl.TF("corneal"), c.TF("corneal"); got != want {
+		t.Errorf("clone TF(corneal) = %d, want %d", got, want)
+	}
+	if !reflect.DeepEqual(cl.Occurrences("corneal"), c.Occurrences("corneal")) {
+		t.Error("clone postings differ from original")
+	}
+
+	beforeDocs, beforeTF := c.NumDocs(), c.TF("corneal")
+	cl.Add(Document{ID: "3", Text: "Another corneal abrasion case."})
+	cl.Build()
+	if cl.NumDocs() != beforeDocs+1 {
+		t.Errorf("clone docs = %d, want %d", cl.NumDocs(), beforeDocs+1)
+	}
+	if c.NumDocs() != beforeDocs || c.TF("corneal") != beforeTF {
+		t.Errorf("original mutated through clone: docs %d tf %d (want %d, %d)",
+			c.NumDocs(), c.TF("corneal"), beforeDocs, beforeTF)
+	}
+	if cl.TF("corneal") != beforeTF+1 {
+		t.Errorf("clone TF(corneal) = %d, want %d", cl.TF("corneal"), beforeTF+1)
+	}
+}
+
+// TestCloneUnbuilt: cloning before Build carries documents and the
+// unbuilt flag; the clone still panics on query-before-Build.
+func TestCloneUnbuilt(t *testing.T) {
+	c := New(textutil.French)
+	c.Add(Document{ID: "1", Text: "abrasion cornéenne"})
+	cl := c.Clone()
+	if cl.NumDocs() != 1 || cl.Lang() != textutil.French {
+		t.Fatalf("clone = %v docs, lang %v", cl.NumDocs(), cl.Lang())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("query on unbuilt clone did not panic")
+		}
+	}()
+	cl.TF("abrasion")
+}

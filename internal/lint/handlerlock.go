@@ -1,0 +1,41 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// HandlerLock protects the snapshot-isolation contract the /v1 server
+// established: the server package holds no locks at all. Read handlers
+// load an immutable snapshot with one atomic pointer read; mutations
+// go through internal/state's epoch-checked commit and internal/jobs'
+// manager, which own the only mutexes in the serving path. A
+// sync.Mutex/RWMutex acquisition appearing anywhere in a package
+// ending in internal/server means a handler (or a helper reachable
+// from one) has reintroduced blocking between readers and writers —
+// exactly the regression the snapshot store was built to rule out.
+// Packages like internal/state and internal/jobs legitimately keep
+// their own locks and are out of scope.
+var HandlerLock = &Analyzer{
+	Name: "handler-lock",
+	Doc:  "the server package is lock-free: no sync Lock/RLock acquisition; mutate via internal/state commits",
+	Run:  runHandlerLock,
+}
+
+func runHandlerLock(p *Pass) {
+	if !strings.HasSuffix(p.Pkg.PkgPath, "internal/server") {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if key, _ := lockCall(p.Pkg, call, lockPair); key != "" {
+				p.Reportf(call.Pos(), "sync lock acquisition on %s in server package %s: handlers serve from state.Store snapshots, not locks", key, p.Pkg.PkgPath)
+			}
+			return true
+		})
+	}
+}

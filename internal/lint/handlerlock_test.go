@@ -1,0 +1,26 @@
+package lint_test
+
+import (
+	"testing"
+
+	"bioenrich/internal/lint"
+)
+
+// TestHandlerLockGolden covers the lock-free-server rule: sync
+// Lock/RLock acquisitions in a package ending in internal/server are
+// findings, atomic snapshot loads are not, and the //biolint:allow
+// escape hatch works.
+func TestHandlerLockGolden(t *testing.T) {
+	pkgs := loadFixture(t, "./internal/server")
+	checkWant(t, pkgs, lint.Run(pkgs, []*lint.Analyzer{lint.HandlerLock}))
+}
+
+// TestHandlerLockScope: the rule is scoped to server packages — the
+// lock-heavy srv fixture (a different path) produces no handler-lock
+// findings.
+func TestHandlerLockScope(t *testing.T) {
+	pkgs := loadFixture(t, "./internal/srv")
+	if got := lint.Run(pkgs, []*lint.Analyzer{lint.HandlerLock}); len(got) != 0 {
+		t.Errorf("handler-lock fired outside a server package: %v", got)
+	}
+}

@@ -14,6 +14,10 @@
 //     instrumentation API contracts that a nil handle is a no-op.
 //   - mutex-return: a return between a bare mu.Lock() and mu.Unlock()
 //     with no defer in force leaks the lock.
+//   - handler-lock: the HTTP server package serves from immutable
+//     state.Store snapshots and must stay lock-free; any sync
+//     Lock/RLock acquisition there reintroduces reader/writer
+//     blocking.
 //
 // The suite is built on stdlib go/ast + go/parser + go/types only (no
 // golang.org/x/tools dependency, mirroring the repo-wide stdlib-only
@@ -81,7 +85,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers returns the full biolint suite.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Nondeterminism, ContextBackground, ObsNilCheck, MutexReturn}
+	return []*Analyzer{Nondeterminism, ContextBackground, ObsNilCheck, MutexReturn, HandlerLock}
 }
 
 // Run applies every analyzer to every package, resolves

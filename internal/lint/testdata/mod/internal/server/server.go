@@ -1,0 +1,54 @@
+// Package server is a biolint fixture for the handler-lock rule: the
+// HTTP server package serves from immutable snapshots and must not
+// acquire sync locks at all — mutations commit through the state
+// store, whose own locks live outside this package.
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// snapshot stands in for state.Snapshot.
+type snapshot struct {
+	docs int
+}
+
+// Handlers is a lock-free server: reads are atomic pointer loads.
+type Handlers struct {
+	cur atomic.Pointer[snapshot]
+}
+
+// Load is the sanctioned read path — no finding.
+func (h *Handlers) Load() int {
+	return h.cur.Load().docs
+}
+
+// Guarded reintroduces a reader/writer mutex in the serving path.
+type Guarded struct {
+	mu sync.RWMutex
+	rw sync.Mutex
+	n  int
+}
+
+// Read blocks readers behind a lock.
+func (g *Guarded) Read() int {
+	g.mu.RLock() // want "sync lock acquisition on g.mu in server package"
+	defer g.mu.RUnlock()
+	return g.n
+}
+
+// Write takes a write lock in a handler path.
+func (g *Guarded) Write(n int) {
+	g.rw.Lock() // want "sync lock acquisition on g.rw in server package"
+	g.n = n
+	g.rw.Unlock()
+}
+
+// Sanctioned marks a deliberate, documented exception.
+func (g *Guarded) Sanctioned() int {
+	//biolint:allow handler-lock fixture demonstrates the escape hatch
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.n
+}

@@ -1,6 +1,9 @@
 package server
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"log/slog"
 	"net/http"
 	"strconv"
@@ -38,6 +41,74 @@ func (sr *statusRecorder) statusCode() int {
 		return http.StatusOK // handler wrote nothing: net/http defaults to 200
 	}
 	return sr.status
+}
+
+// requestIDHeader is the request-correlation header: generated per
+// request (or propagated from a well-formed client value), echoed on
+// the response, stamped on access-log lines and recorded on job
+// submissions so a background run can be traced back to the request
+// that created it.
+const requestIDHeader = "X-Request-ID"
+
+// ctxKey keys server values stored in a request context.
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// newRequestID returns a fresh 16-hex-character id.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; a fixed
+		// id degrades tracing, not serving.
+		return "00000000deadbeef"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// validRequestID bounds what we accept from clients: short, printable
+// and log-safe. Anything else is replaced by a generated id.
+func validRequestID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// withRequestID assigns every request an id, echoes it on the
+// response and threads it through the context for handlers (job
+// submission records it on the job).
+func withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(requestIDHeader)
+		if !validRequestID(id) {
+			id = newRequestID()
+		}
+		w.Header().Set(requestIDHeader, id)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestIDKey, id)))
+	})
+}
+
+// requestID reads the id withRequestID stored, "" outside a request.
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// deprecated marks a legacy unversioned route: same handler as its
+// /v1 twin, plus the Deprecation header nudging clients to migrate.
+func deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		h(w, r)
+	}
 }
 
 // instrument wraps one routed endpoint with a request counter
@@ -85,6 +156,7 @@ func observe(reg *obs.Registry, log *slog.Logger, next http.Handler) http.Handle
 			"status", sr.statusCode(),
 			"bytes", sr.bytes,
 			"duration_ms", float64(time.Since(start).Microseconds())/1000,
+			"request_id", w.Header().Get(requestIDHeader),
 			"remote", r.RemoteAddr)
 	})
 }

@@ -2,21 +2,51 @@
 // the BIOTEX web application plays for the paper's step I, extended to
 // all four steps. JSON in, JSON out, stdlib net/http only.
 //
-// Endpoints:
+// # Serving model
 //
-//	GET  /health                         liveness
-//	GET  /ontology/stats                 concept/term/polysemy counts
-//	GET  /ontology/term?t=<term>         concepts lexicalizing a term
-//	GET  /search?q=<query>&n=10          BM25 document search
-//	GET  /extract?measure=<m>&top=20     step I ranking
-//	GET  /senses?term=<t>&algorithm=&index=&rep=&monosemic=
-//	GET  /link?term=<t>&top=10           step IV proposals
-//	POST /documents                      add documents (JSON array), reindex
-//	POST /enrich                         run steps I-IV; {"apply":true} mutates
-//	GET  /relations?top=20               typed relations between ontology terms
-//	POST /disambiguate                   {"term":..., "context":[...]} -> sense
-//	GET  /metrics                        Prometheus exposition (with Options.Obs)
-//	     /debug/pprof/*                  net/http/pprof (with Options.Pprof)
+// The server is snapshot-isolated (internal/state): every read handler
+// grabs the current immutable (corpus, ontology, epoch) snapshot with
+// one atomic pointer load and never takes a lock, so interactive reads
+// stay fast no matter how long a mutation or enrichment run is in
+// flight. Mutations build on clones and commit by epoch-checked
+// compare-and-swap; an apply built on a superseded snapshot is
+// rejected with 409 Conflict instead of clobbering the interleaved
+// write. Heavyweight enrichment runs can be submitted as asynchronous
+// jobs (internal/jobs) that run against the snapshot they were
+// submitted under.
+//
+// # Endpoints (versioned, canonical)
+//
+//	GET    /v1/health                        liveness + current epoch
+//	GET    /v1/ontology/stats                concept/term/polysemy counts
+//	GET    /v1/ontology/terms/{term}         concepts lexicalizing a term
+//	GET    /v1/search?q=<query>&n=10         BM25 document search
+//	GET    /v1/extract?measure=<m>&top=20    step I ranking
+//	GET    /v1/senses?term=<t>&...           step III induction
+//	GET    /v1/link?term=<t>&top=10          step IV proposals
+//	POST   /v1/documents                     add documents (JSON array), reindex
+//	POST   /v1/enrich                        synchronous steps I-IV; {"apply":true} commits
+//	POST   /v1/jobs/enrich                   submit an async enrichment job (202)
+//	GET    /v1/jobs                          list jobs
+//	GET    /v1/jobs/{id}                     poll one job
+//	DELETE /v1/jobs/{id}                     cancel a job
+//	GET    /v1/relations?top=20              typed relations between ontology terms
+//	POST   /v1/disambiguate                  {"term":..., "context":[...]} -> sense
+//	GET    /v1/metrics                       Prometheus exposition (with Options.Obs)
+//	       /debug/pprof/*                    net/http/pprof (with Options.Pprof)
+//
+// Every pre-/v1 unversioned path remains mounted as a thin alias that
+// serves the identical body plus a "Deprecation: true" header
+// (/ontology/term?t=<term> aliases /v1/ontology/terms/{term}).
+//
+// Errors are a uniform envelope with a stable machine-readable code:
+//
+//	{"error":{"code":"invalid_argument|not_found|queue_full|conflict|
+//	                  deadline_exceeded|cancelled|internal","message":"..."}}
+//
+// and every response carries an X-Request-ID header (generated per
+// request, propagated from well-formed client values, attached to
+// access-log lines and job records).
 package server
 
 import (
@@ -29,17 +59,18 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
-	"sync"
 	"time"
 
 	"bioenrich/internal/cluster"
 	"bioenrich/internal/core"
 	"bioenrich/internal/corpus"
+	"bioenrich/internal/jobs"
 	"bioenrich/internal/linkage"
 	"bioenrich/internal/obs"
 	"bioenrich/internal/ontology"
 	"bioenrich/internal/relext"
 	"bioenrich/internal/senseind"
+	"bioenrich/internal/state"
 	"bioenrich/internal/termex"
 )
 
@@ -54,8 +85,8 @@ const DefaultMaxBodyBytes = 8 << 20
 type Options struct {
 	// Obs enables metrics: per-endpoint request counters, latency
 	// histograms, the in-flight gauge, pipeline metrics from /enrich
-	// runs, and the GET /metrics exposition endpoint. nil disables all
-	// of it.
+	// runs, job-subsystem metrics, and the GET /v1/metrics exposition
+	// endpoint. nil disables all of it.
 	Obs *obs.Registry
 	// Pprof mounts net/http/pprof under /debug/pprof/ (opt-in: the
 	// profiling surface should not be exposed by default).
@@ -64,25 +95,36 @@ type Options struct {
 	// DefaultMaxBodyBytes, negative disables the cap.
 	MaxBodyBytes int64
 	// AccessLog, when non-nil, receives one structured line per
-	// request (method, path, status, bytes, duration).
+	// request (method, path, status, bytes, duration, request id).
 	AccessLog *slog.Logger
-	// EnrichTimeout, when > 0, bounds each POST /enrich run: the
-	// pipeline runs under a context derived from the request (so a
-	// disconnected client cancels it) with this deadline added.
-	// Exceeding it returns 504 and, with "apply":true, mutates
-	// nothing. 0 leaves runs bounded only by the client connection.
+	// EnrichTimeout, when > 0, bounds each enrichment run — the
+	// synchronous POST /v1/enrich (504 past it) and each background
+	// job run (the job fails with deadline_exceeded). 0 leaves
+	// synchronous runs bounded only by the client connection and job
+	// runs by the Start context.
 	EnrichTimeout time.Duration
+	// JobQueue bounds how many submitted jobs may wait for a worker;
+	// submissions past it get 429. 0 means the jobs package default
+	// (16).
+	JobQueue int
+	// JobWorkers is the number of concurrent background job runners.
+	// 0 means 1.
+	JobWorkers int
+	// JobTTL is how long finished jobs stay pollable before garbage
+	// collection. 0 means 15 minutes; negative retains forever.
+	JobTTL time.Duration
 }
 
-// Server wires a corpus and an ontology to HTTP handlers. All handlers
-// take the read lock; mutating handlers (POST /documents,
-// POST /enrich with apply) take the write lock.
+// Server wires a corpus and an ontology to HTTP handlers through a
+// snapshot store: handlers load an immutable snapshot (never
+// blocking), mutating handlers clone-and-commit through the store's
+// epoch-checked compare-and-swap. The server itself holds no locks —
+// biolint's handler-lock analyzer enforces that mechanically.
 type Server struct {
-	mu   sync.RWMutex
-	c    *corpus.Corpus
-	o    *ontology.Ontology
-	cfg  core.Config
-	opts Options
+	state *state.Store
+	cfg   core.Config
+	opts  Options
+	jobs  *jobs.Manager
 }
 
 // New builds a server around a corpus and ontology with the paper's
@@ -100,36 +142,87 @@ func NewWithConfig(c *corpus.Corpus, o *ontology.Ontology, cfg core.Config) *Ser
 }
 
 // NewWithOptions additionally takes operational options: metrics,
-// pprof, body limits and access logging.
+// pprof, body limits, access logging and the job subsystem's shape.
+// The corpus and ontology seed the first snapshot; the caller must
+// not mutate them afterwards.
 func NewWithOptions(c *corpus.Corpus, o *ontology.Ontology, cfg core.Config, opts Options) *Server {
-	return &Server{c: c, o: o, cfg: cfg, opts: opts}
+	return &Server{
+		state: state.NewStore(c, o),
+		cfg:   cfg,
+		opts:  opts,
+		jobs: jobs.New(jobs.Options{
+			Queue:   opts.JobQueue,
+			Workers: opts.JobWorkers,
+			TTL:     opts.JobTTL,
+			Obs:     opts.Obs,
+		}),
+	}
 }
+
+// Start launches the async job workers under ctx; cancelling ctx
+// cancels running jobs and stops the workers. Job submissions before
+// Start are rejected with 503 — read and synchronous endpoints work
+// without it.
+func (s *Server) Start(ctx context.Context) { s.jobs.Start(ctx) }
+
+// Wait blocks until the job workers have exited after the Start
+// context was cancelled — the clean-shutdown hook for cmd/serve.
+func (s *Server) Wait() { s.jobs.Wait() }
+
+// snapshot loads the current immutable snapshot: one atomic pointer
+// read, no lock, never blocks.
+func (s *Server) snapshot() *state.Snapshot { return s.state.Load() }
 
 // Handler returns the routing http.Handler. Every endpoint is
 // wrapped with per-endpoint instrumentation (when Options.Obs is
-// set), and the router as a whole with the in-flight gauge and
-// access log.
+// set); the router as a whole with request-id assignment, the
+// in-flight gauge and the access log.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	route := func(pattern string, h http.HandlerFunc) {
 		mux.Handle(pattern, instrument(s.opts.Obs, pattern, h))
 	}
-	route("GET /health", s.handleHealth)
-	route("GET /ontology/stats", s.handleOntologyStats)
-	route("GET /ontology/term", s.handleOntologyTerm)
-	route("GET /search", s.handleSearch)
-	route("GET /extract", s.handleExtract)
-	route("GET /senses", s.handleSenses)
-	route("GET /link", s.handleLink)
-	route("POST /documents", s.handleAddDocuments)
-	route("POST /enrich", s.handleEnrich)
-	route("GET /relations", s.handleRelations)
-	route("POST /disambiguate", s.handleDisambiguate)
+	// Canonical versioned surface.
+	route("GET /v1/health", s.handleHealth)
+	route("GET /v1/ontology/stats", s.handleOntologyStats)
+	route("GET /v1/ontology/terms/{term}", s.handleOntologyTermPath)
+	route("GET /v1/search", s.handleSearch)
+	route("GET /v1/extract", s.handleExtract)
+	route("GET /v1/senses", s.handleSenses)
+	route("GET /v1/link", s.handleLink)
+	route("POST /v1/documents", s.handleAddDocuments)
+	route("POST /v1/enrich", s.handleEnrich)
+	route("POST /v1/jobs/enrich", s.handleJobSubmit)
+	route("GET /v1/jobs", s.handleJobList)
+	route("GET /v1/jobs/{id}", s.handleJobGet)
+	route("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	route("GET /v1/relations", s.handleRelations)
+	route("POST /v1/disambiguate", s.handleDisambiguate)
+
+	// Legacy unversioned aliases: identical handler, identical body,
+	// plus the Deprecation header. New endpoints (jobs) are /v1-only.
+	legacy := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, instrument(s.opts.Obs, pattern, deprecated(h)))
+	}
+	legacy("GET /health", s.handleHealth)
+	legacy("GET /ontology/stats", s.handleOntologyStats)
+	legacy("GET /ontology/term", s.handleOntologyTermQuery)
+	legacy("GET /search", s.handleSearch)
+	legacy("GET /extract", s.handleExtract)
+	legacy("GET /senses", s.handleSenses)
+	legacy("GET /link", s.handleLink)
+	legacy("POST /documents", s.handleAddDocuments)
+	legacy("POST /enrich", s.handleEnrich)
+	legacy("GET /relations", s.handleRelations)
+	legacy("POST /disambiguate", s.handleDisambiguate)
+
 	if s.opts.Obs != nil {
 		// The exposition endpoint is instrumented like any other; the
 		// counter increments after the scrape renders, so a scrape sees
 		// every request before itself.
-		mux.Handle("GET /metrics", instrument(s.opts.Obs, "GET /metrics", s.opts.Obs.Handler()))
+		expo := s.opts.Obs.Handler()
+		mux.Handle("GET /v1/metrics", instrument(s.opts.Obs, "GET /v1/metrics", expo))
+		mux.Handle("GET /metrics", instrument(s.opts.Obs, "GET /metrics", deprecated(expo.ServeHTTP)))
 	}
 	if s.opts.Pprof {
 		// No method restriction: the pprof tool POSTs to /symbol.
@@ -139,7 +232,7 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	return observe(s.opts.Obs, s.opts.AccessLog, mux)
+	return observe(s.opts.Obs, s.opts.AccessLog, withRequestID(mux))
 }
 
 // limitBody caps r.Body per Options.MaxBodyBytes; a decode past the
@@ -174,7 +267,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 		slog.Error("server: response encode failed", "err", err)
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusInternalServerError)
-		fmt.Fprintln(w, `{"error":"response encoding failed"}`)
+		fmt.Fprintln(w, `{"error":{"code":"internal","message":"response encoding failed"}}`)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -185,9 +278,43 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	}
 }
 
-// errorJSON reports an error as {"error": "..."}.
+// errorDetail is the machine-readable half of the error envelope.
+type errorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// errorEnvelope is the uniform error body:
+// {"error":{"code":"...","message":"..."}}.
+type errorEnvelope struct {
+	Error errorDetail `json:"error"`
+}
+
+// codeForStatus maps a response status to its envelope code. The code
+// set is part of the API contract; clients switch on it, not on
+// message text.
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest, http.StatusRequestEntityTooLarge:
+		return "invalid_argument"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusTooManyRequests:
+		return "queue_full"
+	case statusClientClosedRequest:
+		return "cancelled"
+	case http.StatusGatewayTimeout:
+		return "deadline_exceeded"
+	}
+	return "internal"
+}
+
+// errorJSON reports an error in the uniform envelope, deriving the
+// code from the status.
 func errorJSON(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+	writeJSON(w, code, errorEnvelope{errorDetail{Code: codeForStatus(code), Message: err.Error()}})
 }
 
 // intParam reads a non-negative integer query parameter, returning
@@ -211,37 +338,55 @@ func intParam(r *http.Request, name string, def int) (int, error) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	snap := s.snapshot()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
-		"docs":     s.c.NumDocs(),
-		"concepts": s.o.NumConcepts(),
+		"docs":     snap.Corpus.NumDocs(),
+		"concepts": snap.Ontology.NumConcepts(),
+		"epoch":    snap.Epoch,
 	})
 }
 
 func (s *Server) handleOntologyStats(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	stats := s.o.PolysemyStats()
+	snap := s.snapshot()
+	o := snap.Ontology
+	stats := o.PolysemyStats()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"name":      s.o.Name,
-		"concepts":  s.o.NumConcepts(),
-		"terms":     s.o.NumTerms(),
+		"name":      o.Name,
+		"concepts":  o.NumConcepts(),
+		"terms":     o.NumTerms(),
 		"polysemy":  stats,
-		"polysemic": len(s.o.PolysemicTerms()),
+		"polysemic": len(o.PolysemicTerms()),
+		"epoch":     snap.Epoch,
 	})
 }
 
-func (s *Server) handleOntologyTerm(w http.ResponseWriter, r *http.Request) {
+// handleOntologyTermPath is the /v1 resource form:
+// GET /v1/ontology/terms/{term}.
+func (s *Server) handleOntologyTermPath(w http.ResponseWriter, r *http.Request) {
+	term := r.PathValue("term")
+	if term == "" {
+		errorJSON(w, http.StatusBadRequest, fmt.Errorf("missing term path segment"))
+		return
+	}
+	s.renderOntologyTerm(w, term)
+}
+
+// handleOntologyTermQuery is the deprecated query form:
+// GET /ontology/term?t=<term>.
+func (s *Server) handleOntologyTermQuery(w http.ResponseWriter, r *http.Request) {
 	term := r.URL.Query().Get("t")
 	if term == "" {
 		errorJSON(w, http.StatusBadRequest, fmt.Errorf("missing ?t=<term>"))
 		return
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ids := s.o.ConceptsForTerm(term)
+	s.renderOntologyTerm(w, term)
+}
+
+func (s *Server) renderOntologyTerm(w http.ResponseWriter, term string) {
+	snap := s.snapshot()
+	o := snap.Ontology
+	ids := o.ConceptsForTerm(term)
 	if len(ids) == 0 {
 		errorJSON(w, http.StatusNotFound, fmt.Errorf("term %q not in ontology", term))
 		return
@@ -253,9 +398,14 @@ func (s *Server) handleOntologyTerm(w http.ResponseWriter, r *http.Request) {
 		Parents   []ontology.ConceptID `json:"parents"`
 		Children  []ontology.ConceptID `json:"children"`
 	}
-	var out []conceptView
+	// Pre-sized so zero renderable concepts still encodes as [], never
+	// null — clients iterate the field unconditionally.
+	out := make([]conceptView, 0, len(ids))
 	for _, id := range ids {
-		c := s.o.Concept(id)
+		c := o.Concept(id)
+		if c == nil {
+			continue
+		}
 		out = append(out, conceptView{
 			ID: id, Preferred: c.Preferred, Synonyms: c.Synonyms,
 			Parents: c.Parents, Children: c.Children,
@@ -275,9 +425,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		errorJSON(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, s.c.Search(q, n))
+	hits := s.snapshot().Corpus.Search(q, n)
+	if hits == nil {
+		hits = []corpus.SearchHit{}
+	}
+	writeJSON(w, http.StatusOK, hits)
 }
 
 func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
@@ -290,14 +442,16 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		errorJSON(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ext := termex.NewExtractor(s.c)
-	ext.LearnPatterns(s.o.Terms())
+	snap := s.snapshot()
+	ext := termex.NewExtractor(snap.Corpus)
+	ext.LearnPatterns(snap.Ontology.Terms())
 	ranked, err := ext.Rank(measure, top)
 	if err != nil {
 		errorJSON(w, http.StatusBadRequest, err)
 		return
+	}
+	if ranked == nil {
+		ranked = []termex.ScoredTerm{}
 	}
 	writeJSON(w, http.StatusOK, ranked)
 }
@@ -319,9 +473,7 @@ func (s *Server) handleSenses(w http.ResponseWriter, r *http.Request) {
 		in.Representation = senseind.Representation(v)
 	}
 	polysemic := r.URL.Query().Get("monosemic") == ""
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	res, err := in.Induce(s.c, term, polysemic)
+	res, err := in.Induce(s.snapshot().Corpus, term, polysemic)
 	if err != nil {
 		errorJSON(w, http.StatusBadRequest, err)
 		return
@@ -340,9 +492,8 @@ func (s *Server) handleLink(w http.ResponseWriter, r *http.Request) {
 		errorJSON(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	props, err := linkage.New(s.c, s.o, linkage.DefaultOptions()).ProposeContext(r.Context(), term, top)
+	snap := s.snapshot()
+	props, err := linkage.New(snap.Corpus, snap.Ontology, linkage.DefaultOptions()).ProposeContext(r.Context(), term, top)
 	if err != nil {
 		if r.Context().Err() != nil {
 			errorJSON(w, runStatus(err), err)
@@ -350,6 +501,9 @@ func (s *Server) handleLink(w http.ResponseWriter, r *http.Request) {
 		}
 		errorJSON(w, http.StatusBadRequest, err)
 		return
+	}
+	if props == nil {
+		props = []linkage.Proposal{}
 	}
 	writeJSON(w, http.StatusOK, props)
 }
@@ -365,31 +519,42 @@ func (s *Server) handleAddDocuments(w http.ResponseWriter, r *http.Request) {
 		errorJSON(w, http.StatusBadRequest, fmt.Errorf("no documents"))
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.c.AddAll(docs)
-	s.c.Build()
-	writeJSON(w, http.StatusOK, map[string]int{"docs": s.c.NumDocs()})
+	// Ingestion must always land, so it goes through the serialized
+	// Update path (no epoch race to lose): clone, grow, reindex,
+	// commit. Readers keep the previous snapshot until the swap.
+	next, err := s.state.Update(func(snap *state.Snapshot) (*corpus.Corpus, *ontology.Ontology, error) {
+		cc := snap.Corpus.Clone()
+		cc.AddAll(docs)
+		cc.Build()
+		return cc, snap.Ontology, nil
+	})
+	if err != nil {
+		errorJSON(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"docs": next.Corpus.NumDocs(), "epoch": next.Epoch})
 }
 
 // handleRelations extracts typed relations between ontology terms
-// (GET /relations?top=20) — the future-work extension over HTTP.
+// (GET /v1/relations?top=20) — the future-work extension over HTTP.
 func (s *Server) handleRelations(w http.ResponseWriter, r *http.Request) {
 	top, err := intParam(r, "top", 20)
 	if err != nil {
 		errorJSON(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	rels := relext.NewExtractor(s.o.Terms(), s.c.Lang()).Extract(s.c)
+	snap := s.snapshot()
+	rels := relext.NewExtractor(snap.Ontology.Terms(), snap.Corpus.Lang()).Extract(snap.Corpus)
 	if top > 0 && top < len(rels) {
 		rels = rels[:top]
+	}
+	if rels == nil {
+		rels = []relext.Relation{}
 	}
 	writeJSON(w, http.StatusOK, rels)
 }
 
-// disambiguateRequest is the POST /disambiguate body: induce the
+// disambiguateRequest is the POST /v1/disambiguate body: induce the
 // term's senses from the corpus, then assign the provided context.
 type disambiguateRequest struct {
 	Term    string   `json:"term"`
@@ -407,10 +572,8 @@ func (s *Server) handleDisambiguate(w http.ResponseWriter, r *http.Request) {
 		errorJSON(w, http.StatusBadRequest, fmt.Errorf("term and context are required"))
 		return
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	in := senseind.New()
-	res, err := in.Induce(s.c, req.Term, true)
+	res, err := in.Induce(s.snapshot().Corpus, req.Term, true)
 	if err != nil {
 		errorJSON(w, http.StatusBadRequest, err)
 		return
@@ -430,13 +593,17 @@ func (s *Server) handleDisambiguate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// enrichRequest is the POST /enrich body. Workers, when > 0, bounds
-// the per-request worker pool for steps II–IV; 0 inherits the
-// server's configured pool (default: all cores).
+// enrichRequest is the POST /v1/enrich and POST /v1/jobs/enrich body.
+// Workers, when > 0, bounds the per-request worker pool for steps
+// II–IV; 0 inherits the server's configured pool (default: all
+// cores). Epoch, when > 0, pins the run to a snapshot version: if the
+// store has moved past it the request is rejected with 409 up front —
+// optimistic concurrency for clients that read, decide, then apply.
 type enrichRequest struct {
-	Top     int  `json:"top"`
-	Apply   bool `json:"apply"`
-	Workers int  `json:"workers"`
+	Top     int    `json:"top"`
+	Apply   bool   `json:"apply"`
+	Workers int    `json:"workers"`
+	Epoch   uint64 `json:"epoch"`
 }
 
 // statusClientClosedRequest is nginx's non-standard "client closed
@@ -445,11 +612,14 @@ type enrichRequest struct {
 // abandoned runs from server faults.
 const statusClientClosedRequest = 499
 
-// runStatus maps a pipeline error to its response status: 504 when
-// the run outlived Options.EnrichTimeout, 499 when the client went
-// away (request context cancelled), 500 otherwise.
+// runStatus maps a pipeline error to its response status: 409 when a
+// commit lost the epoch race, 504 when the run outlived
+// Options.EnrichTimeout, 499 when the client went away (request
+// context cancelled), 500 otherwise.
 func runStatus(err error) int {
 	switch {
+	case errors.Is(err, state.ErrStale):
+		return http.StatusConflict
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -458,29 +628,96 @@ func runStatus(err error) int {
 	return http.StatusInternalServerError
 }
 
-func (s *Server) handleEnrich(w http.ResponseWriter, r *http.Request) {
+// decodeEnrichRequest reads and validates an enrichRequest body
+// (shared by the synchronous and job submission endpoints). An empty
+// body means "run with defaults". Decoding instead of guarding on
+// r.ContentLength != 0 handles chunked requests too: their
+// ContentLength is -1, and a length guard would turn an empty chunked
+// body into a spurious 400 on io.EOF.
+func (s *Server) decodeEnrichRequest(w http.ResponseWriter, r *http.Request) (enrichRequest, bool) {
 	s.limitBody(w, r)
 	var req enrichRequest
-	// An empty body means "run with defaults". Decoding instead of
-	// guarding on r.ContentLength != 0 handles chunked requests too:
-	// their ContentLength is -1, and the old guard turned an empty
-	// chunked body into a spurious 400 on io.EOF.
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
 		errorJSON(w, decodeStatus(err), fmt.Errorf("decode request: %w", err))
-		return
+		return req, false
 	}
 	if req.Top < 0 {
 		errorJSON(w, http.StatusBadRequest, fmt.Errorf("top: must be non-negative, got %d", req.Top))
-		return
+		return req, false
 	}
 	if req.Workers < 0 {
 		errorJSON(w, http.StatusBadRequest, fmt.Errorf("workers: must be non-negative, got %d", req.Workers))
-		return
+		return req, false
 	}
 	if req.Top == 0 {
 		req.Top = 10
 	}
+	return req, true
+}
 
+// runEnrich executes steps I–IV against snap and, with Apply set,
+// commits the enriched ontology through the epoch-checked CAS. The
+// pipeline holds no lock at any point: it reads the immutable
+// snapshot, applies onto a clone, and only the pointer swap inside
+// Commit is serialized. A commit built on a superseded snapshot
+// returns state.ErrStale with nothing mutated.
+func (s *Server) runEnrich(ctx context.Context, snap *state.Snapshot, req enrichRequest) (map[string]any, error) {
+	cfg := s.cfg
+	cfg.TopCandidates = req.Top
+	if req.Workers > 0 {
+		cfg.Workers = req.Workers
+	}
+	if cfg.Obs == nil {
+		cfg.Obs = s.opts.Obs // pipeline spans and pool metrics land in /v1/metrics
+	}
+	enricher := core.NewEnricher(snap.Corpus, snap.Ontology, cfg)
+	report, err := enricher.RunContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if report.Candidates == nil {
+		report.Candidates = []core.Candidate{}
+	}
+	resp := map[string]any{"report": report, "epoch": snap.Epoch}
+	if !req.Apply {
+		return resp, nil
+	}
+	// A cancellation that lands between Run returning and Apply
+	// starting must still apply nothing.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Apply onto a clone; the served snapshot stays untouched until
+	// (and unless) the commit wins the epoch check.
+	clone := snap.Ontology.Clone()
+	applied, err := core.NewEnricher(snap.Corpus, clone, cfg).Apply(report, core.DefaultPolicy())
+	if err != nil {
+		return nil, err
+	}
+	next, err := s.state.Commit(snap, snap.Corpus, clone)
+	if err != nil {
+		return nil, err
+	}
+	if applied == nil {
+		applied = []core.Applied{}
+	}
+	resp["applied"] = applied
+	resp["terms"] = clone.NumTerms()
+	resp["epoch"] = next.Epoch
+	return resp, nil
+}
+
+func (s *Server) handleEnrich(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeEnrichRequest(w, r)
+	if !ok {
+		return
+	}
+	snap := s.snapshot()
+	if req.Epoch != 0 && req.Epoch != snap.Epoch {
+		errorJSON(w, http.StatusConflict,
+			fmt.Errorf("requested epoch %d is stale: store at epoch %d", req.Epoch, snap.Epoch))
+		return
+	}
 	// The run lives at most as long as the request: a disconnected
 	// client cancels it, and Options.EnrichTimeout adds a deadline.
 	ctx := r.Context()
@@ -489,47 +726,140 @@ func (s *Server) handleEnrich(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, s.opts.EnrichTimeout)
 		defer cancel()
 	}
-
-	// Run only reads; the write lock is needed solely when applying.
-	// Read-only enrichments therefore share the read lock with
-	// /health, /search and the other read handlers instead of
-	// starving them for the whole run.
-	if req.Apply {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-	} else {
-		s.mu.RLock()
-		defer s.mu.RUnlock()
-	}
-	cfg := s.cfg
-	cfg.TopCandidates = req.Top
-	if req.Workers > 0 {
-		cfg.Workers = req.Workers
-	}
-	if cfg.Obs == nil {
-		cfg.Obs = s.opts.Obs // pipeline spans and pool metrics land in /metrics
-	}
-	enricher := core.NewEnricher(s.c, s.o, cfg)
-	report, err := enricher.RunContext(ctx)
+	resp, err := s.runEnrich(ctx, snap, req)
 	if err != nil {
 		errorJSON(w, runStatus(err), err)
 		return
 	}
-	resp := map[string]any{"report": report}
-	if req.Apply {
-		// A cancellation that lands between Run returning and Apply
-		// starting must still apply nothing.
-		if err := ctx.Err(); err != nil {
-			errorJSON(w, runStatus(err), err)
-			return
-		}
-		applied, err := enricher.Apply(report, core.DefaultPolicy())
-		if err != nil {
-			errorJSON(w, http.StatusInternalServerError, err)
-			return
-		}
-		resp["applied"] = applied
-		resp["terms"] = s.o.NumTerms()
-	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// jobPayload is the wire form of one job.
+type jobPayload struct {
+	ID        string       `json:"id"`
+	Kind      string       `json:"kind"`
+	Status    jobs.Status  `json:"status"`
+	RequestID string       `json:"request_id,omitempty"`
+	Epoch     uint64       `json:"epoch"`
+	Created   time.Time    `json:"created"`
+	Started   *time.Time   `json:"started,omitempty"`
+	Finished  *time.Time   `json:"finished,omitempty"`
+	Result    any          `json:"result,omitempty"`
+	Error     *errorDetail `json:"error,omitempty"`
+}
+
+// jobErrCode classifies a failed job's error into the envelope code
+// set: a lost epoch race is conflict, a timed-out run
+// deadline_exceeded, a cancelled run cancelled, anything else
+// internal.
+func jobErrCode(err error) string {
+	switch {
+	case errors.Is(err, state.ErrStale):
+		return "conflict"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline_exceeded"
+	case errors.Is(err, context.Canceled):
+		return "cancelled"
+	}
+	return "internal"
+}
+
+func jobView(j jobs.Job) jobPayload {
+	p := jobPayload{
+		ID:        j.ID,
+		Kind:      j.Kind,
+		Status:    j.Status,
+		RequestID: j.RequestID,
+		Epoch:     j.Epoch,
+		Created:   j.Created,
+		Result:    j.Result,
+	}
+	if !j.Started.IsZero() {
+		t := j.Started
+		p.Started = &t
+	}
+	if !j.Finished.IsZero() {
+		t := j.Finished
+		p.Finished = &t
+	}
+	if j.Err != nil {
+		p.Error = &errorDetail{Code: jobErrCode(j.Err), Message: j.Err.Error()}
+	}
+	return p
+}
+
+// handleJobSubmit enqueues an enrichment run (POST /v1/jobs/enrich).
+// The job runs against the snapshot current at submission — reads are
+// never blocked by it, and an apply whose snapshot is superseded
+// before commit fails with the conflict code rather than clobbering
+// the interleaved write.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeEnrichRequest(w, r)
+	if !ok {
+		return
+	}
+	snap := s.snapshot()
+	if req.Epoch != 0 && req.Epoch != snap.Epoch {
+		errorJSON(w, http.StatusConflict,
+			fmt.Errorf("requested epoch %d is stale: store at epoch %d", req.Epoch, snap.Epoch))
+		return
+	}
+	timeout := s.opts.EnrichTimeout
+	job, err := s.jobs.Submit("enrich", requestID(r.Context()), snap.Epoch, func(ctx context.Context) (any, error) {
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+			defer cancel()
+		}
+		return s.runEnrich(ctx, snap, req)
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, jobs.ErrQueueFull):
+			errorJSON(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, jobs.ErrNotStarted):
+			errorJSON(w, http.StatusServiceUnavailable, err)
+		default:
+			errorJSON(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, jobView(job))
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, _ *http.Request) {
+	list := s.jobs.List()
+	views := make([]jobPayload, 0, len(list))
+	for _, j := range list {
+		views = append(views, jobView(j))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.Get(id)
+	if !ok {
+		errorJSON(w, http.StatusNotFound, fmt.Errorf("job %q not found", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, jobView(j))
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, err := s.jobs.Cancel(id)
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		errorJSON(w, http.StatusNotFound, fmt.Errorf("job %q not found", id))
+		return
+	case errors.Is(err, jobs.ErrFinished):
+		errorJSON(w, http.StatusConflict, fmt.Errorf("job %q already finished (%s)", id, j.Status))
+		return
+	case err != nil:
+		errorJSON(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobView(j))
 }

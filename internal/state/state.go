@@ -1,0 +1,107 @@
+// Package state implements the snapshot-isolated store the HTTP
+// server serves from. A Snapshot is an immutable (corpus, ontology,
+// epoch) triple; the Store hands the current snapshot to readers
+// through an atomic pointer — a read never takes a lock and never
+// blocks, however long a mutation is taking to prepare. Mutations
+// build on clones off to the side and commit by swapping the pointer:
+// Commit is an epoch-checked compare-and-swap (a commit built on a
+// superseded snapshot fails with ErrStale instead of silently
+// clobbering the interleaved write), and Update serializes
+// read-modify-write sequences that must always land (document
+// ingestion). The short writer mutex covers only the pointer swap and
+// the epoch check — never the pipeline work that produced the clone.
+package state
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"bioenrich/internal/corpus"
+	"bioenrich/internal/ontology"
+)
+
+// ErrStale is returned by Commit when the snapshot the mutation was
+// built on is no longer current: another commit landed in between.
+// The HTTP layer maps it to 409 Conflict.
+var ErrStale = errors.New("state: snapshot is stale (a concurrent commit landed first)")
+
+// Snapshot is one immutable version of the served data. Treat every
+// field as read-only: mutations clone first (ontology.Clone,
+// corpus.Clone) and commit the clone as a new snapshot.
+type Snapshot struct {
+	Corpus   *corpus.Corpus
+	Ontology *ontology.Ontology
+	// Epoch identifies the version: it increments by one per commit.
+	// A mutation records the epoch it was built on; Commit rejects it
+	// once the store has moved past that epoch.
+	Epoch uint64
+}
+
+// Store holds the current snapshot. The zero value is not usable;
+// call NewStore.
+type Store struct {
+	// mu serializes commits only. Readers never touch it: Load is a
+	// single atomic pointer read.
+	mu  sync.Mutex
+	cur atomic.Pointer[Snapshot]
+}
+
+// NewStore builds a store whose first snapshot (epoch 1) wraps c and
+// o. The caller hands over ownership: c and o must not be mutated
+// afterwards except through Commit/Update.
+func NewStore(c *corpus.Corpus, o *ontology.Ontology) *Store {
+	s := &Store{}
+	s.cur.Store(&Snapshot{Corpus: c, Ontology: o, Epoch: 1})
+	return s
+}
+
+// Load returns the current snapshot. It never blocks — concurrent
+// commits swap the pointer; the caller keeps a consistent view for as
+// long as it holds the returned snapshot.
+func (s *Store) Load() *Snapshot {
+	return s.cur.Load()
+}
+
+// Commit publishes (c, o) as the next snapshot if and only if base is
+// still current; otherwise it returns ErrStale and changes nothing.
+// This is the optimistic path for long mutations (enrichment apply):
+// the expensive work runs without any lock against the base snapshot,
+// and only the epoch check + pointer swap happen under the writer
+// mutex.
+func (s *Store) Commit(base *Snapshot, c *corpus.Corpus, o *ontology.Ontology) (*Snapshot, error) {
+	if base == nil {
+		return nil, fmt.Errorf("state: commit with nil base snapshot")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.cur.Load()
+	if cur.Epoch != base.Epoch {
+		return nil, fmt.Errorf("%w: built on epoch %d, store at epoch %d", ErrStale, base.Epoch, cur.Epoch)
+	}
+	next := &Snapshot{Corpus: c, Ontology: o, Epoch: cur.Epoch + 1}
+	s.cur.Store(next)
+	return next, nil
+}
+
+// Update runs fn against the current snapshot under the writer mutex
+// and commits whatever it returns as the next snapshot. Unlike
+// Commit, an Update cannot lose a race — concurrent Updates serialize
+// — so it is the path for mutations that must always land, like
+// document ingestion. fn must not mutate the snapshot it is given
+// (clone, then modify the clone); returning an error aborts with
+// nothing published. Readers are never blocked: they keep loading the
+// previous snapshot until the swap.
+func (s *Store) Update(fn func(*Snapshot) (*corpus.Corpus, *ontology.Ontology, error)) (*Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.cur.Load()
+	c, o, err := fn(cur)
+	if err != nil {
+		return nil, err
+	}
+	next := &Snapshot{Corpus: c, Ontology: o, Epoch: cur.Epoch + 1}
+	s.cur.Store(next)
+	return next, nil
+}

@@ -1,0 +1,153 @@
+package state
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"bioenrich/internal/corpus"
+	"bioenrich/internal/ontology"
+	"bioenrich/internal/textutil"
+)
+
+func fixture(t *testing.T) (*corpus.Corpus, *ontology.Ontology) {
+	t.Helper()
+	c := corpus.New(textutil.English)
+	c.Add(corpus.Document{ID: "1", Text: "Corneal abrasion with scarring."})
+	c.Build()
+	o := ontology.New("mesh")
+	if _, err := o.AddConcept("D1", "eye diseases"); err != nil {
+		t.Fatal(err)
+	}
+	return c, o
+}
+
+func TestLoadCommitEpoch(t *testing.T) {
+	c, o := fixture(t)
+	st := NewStore(c, o)
+	snap := st.Load()
+	if snap.Epoch != 1 || snap.Corpus != c || snap.Ontology != o {
+		t.Fatalf("initial snapshot = %+v", snap)
+	}
+
+	o2 := o.Clone()
+	if err := o2.AddSynonym("D1", "ocular diseases"); err != nil {
+		t.Fatal(err)
+	}
+	next, err := st.Commit(snap, snap.Corpus, o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Epoch != 2 || st.Load() != next {
+		t.Errorf("commit: epoch %d, current %p vs %p", next.Epoch, st.Load(), next)
+	}
+	// The superseded snapshot is still coherent for readers holding it.
+	if snap.Ontology.NumTerms() != 1 {
+		t.Errorf("old snapshot mutated: %d terms", snap.Ontology.NumTerms())
+	}
+}
+
+// TestCommitStale: a commit built on a superseded snapshot fails with
+// ErrStale and publishes nothing — the 409 Conflict path.
+func TestCommitStale(t *testing.T) {
+	c, o := fixture(t)
+	st := NewStore(c, o)
+	base := st.Load()
+
+	// An interleaved commit moves the epoch.
+	if _, err := st.Commit(base, base.Corpus, base.Ontology.Clone()); err != nil {
+		t.Fatal(err)
+	}
+
+	stale := base.Ontology.Clone()
+	if err := stale.AddSynonym("D1", "late synonym"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Commit(base, base.Corpus, stale); !errors.Is(err, ErrStale) {
+		t.Fatalf("stale commit error = %v, want ErrStale", err)
+	}
+	if st.Load().Ontology.HasTerm("late synonym") {
+		t.Error("stale commit mutated the published snapshot")
+	}
+	if st.Load().Epoch != 2 {
+		t.Errorf("epoch = %d, want 2", st.Load().Epoch)
+	}
+}
+
+// TestUpdateSerializes: concurrent Updates all land (no conflicts) and
+// every epoch increments exactly once — document ingestion semantics.
+func TestUpdateSerializes(t *testing.T) {
+	c, o := fixture(t)
+	st := NewStore(c, o)
+	const n = 16
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := st.Update(func(snap *Snapshot) (*corpus.Corpus, *ontology.Ontology, error) {
+				cc := snap.Corpus.Clone()
+				cc.Add(corpus.Document{ID: fmt.Sprintf("u%d", i), Text: "more corneal text"})
+				cc.Build()
+				return cc, snap.Ontology, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	snap := st.Load()
+	if snap.Epoch != 1+n {
+		t.Errorf("epoch = %d, want %d", snap.Epoch, 1+n)
+	}
+	if snap.Corpus.NumDocs() != 1+n {
+		t.Errorf("docs = %d, want %d", snap.Corpus.NumDocs(), 1+n)
+	}
+}
+
+// TestUpdateAbort: an erroring Update publishes nothing.
+func TestUpdateAbort(t *testing.T) {
+	c, o := fixture(t)
+	st := NewStore(c, o)
+	sentinel := errors.New("boom")
+	if _, err := st.Update(func(*Snapshot) (*corpus.Corpus, *ontology.Ontology, error) {
+		return nil, nil, sentinel
+	}); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if st.Load().Epoch != 1 {
+		t.Errorf("aborted update advanced the epoch to %d", st.Load().Epoch)
+	}
+}
+
+// TestLoadNeverBlocks: readers keep loading while a slow Update holds
+// the writer mutex.
+func TestLoadNeverBlocks(t *testing.T) {
+	c, o := fixture(t)
+	st := NewStore(c, o)
+	inUpdate := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = st.Update(func(snap *Snapshot) (*corpus.Corpus, *ontology.Ontology, error) {
+			close(inUpdate)
+			<-release
+			return snap.Corpus, snap.Ontology, nil
+		})
+	}()
+	<-inUpdate
+	// The writer mutex is held; Load must still return immediately.
+	for i := 0; i < 100; i++ {
+		if snap := st.Load(); snap.Epoch != 1 {
+			t.Fatalf("epoch = %d mid-update", snap.Epoch)
+		}
+	}
+	close(release)
+	<-done
+	if st.Load().Epoch != 2 {
+		t.Errorf("epoch after update = %d", st.Load().Epoch)
+	}
+}
