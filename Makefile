@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race lint fuzz-smoke staticcheck bench bench-enricher
+.PHONY: verify build vet test race lint fuzz-smoke staticcheck bench bench-enricher restart-test
 
 build:
 	$(GO) build ./...
@@ -26,9 +26,11 @@ test:
 # registry, the snapshot store's epoch-checked commits, the async job
 # manager's lifecycle and the server's snapshot-isolated serving;
 # these packages are where the concurrency lives, the rest ride along
-# for free. CI (.github/workflows/ci.yml) runs the same gate.
+# for free. internal/storage joins the gate because the disk backend's
+# mutex serializes WAL appends against checkpoints. CI
+# (.github/workflows/ci.yml) runs the same gate.
 race:
-	$(GO) test -race ./internal/core ./internal/server ./internal/linkage ./internal/obs ./internal/senseind ./internal/state ./internal/jobs
+	$(GO) test -race ./internal/core ./internal/server ./internal/linkage ./internal/obs ./internal/senseind ./internal/state ./internal/jobs ./internal/storage
 
 # biolint is the repo's own analyzer suite (internal/lint, stdlib-only):
 # it mechanically enforces the determinism, context-propagation, obs
@@ -43,6 +45,14 @@ lint:
 fuzz-smoke:
 	$(GO) test -fuzz 'FuzzTokenize' -fuzztime 10s ./internal/textutil
 	$(GO) test -fuzz 'FuzzReadJSONL' -fuzztime 10s ./internal/corpus
+	$(GO) test -fuzz 'FuzzWALReplay' -fuzztime 10s ./internal/storage
+
+# End-to-end crash recovery: serve -> ingest -> SIGKILL -> serve again
+# from the data dir alone -> verify the exact pre-kill epoch and doc
+# count came back. scripts/restart_test.sh drives the real binary; the
+# same scenario runs in-process as TestRestartAfterSIGKILL.
+restart-test:
+	./scripts/restart_test.sh
 
 # staticcheck is advisory locally (skipped when the binary is absent);
 # CI pins a version and enforces it. The if/else keeps a real

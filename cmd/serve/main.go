@@ -8,7 +8,9 @@
 //	      [-addr :8080] [-workers N] [-shutdown-timeout 10s] \
 //	      [-enrich-timeout 2m] [-metrics=true] [-pprof] \
 //	      [-log-level info] [-max-body 8388608] \
-//	      [-job-queue 16] [-job-workers 1] [-job-ttl 15m]
+//	      [-job-queue 16] [-job-workers 1] [-job-ttl 15m] \
+//	      [-data-dir data/state] [-wal-sync=true] \
+//	      [-retain-segments 3] [-checkpoint-every 256]
 //
 // The server is configured with conservative read/write timeouts so a
 // slow or stalled client cannot pin a connection forever, and shuts
@@ -19,6 +21,21 @@
 // alike; a client that disconnects mid-run cancels a synchronous run
 // either way.
 //
+// Durability: with -data-dir set, state survives restarts and crashes.
+// Every ingested document batch is appended to a write-ahead log and
+// fsynced before the request is acknowledged, and every enrichment
+// apply is persisted as an immutable checksummed segment file keyed by
+// snapshot epoch. On boot, if the data directory holds durable state,
+// the server warm-restarts from it — loading the newest valid segment
+// and replaying the WAL tail to the exact pre-crash epoch — and the
+// -corpus/-ontology flags are only consulted on a cold (empty) data
+// directory, where they seed epoch 1. -wal-sync=false trades the
+// per-append fsync for throughput (a crash may then lose acknowledged
+// ingests), -retain-segments bounds how many full snapshots are kept,
+// and -checkpoint-every bounds boot-time replay by writing a full
+// segment after that many ingest batches. Without -data-dir everything
+// lives in RAM and dies with the process, as before.
+//
 // Async jobs: POST /v1/jobs/enrich queues an enrichment run against
 // the snapshot current at submission. -job-queue bounds how many may
 // wait (429 past it), -job-workers how many run concurrently, and
@@ -28,7 +45,8 @@
 //
 // Observability: -metrics (on by default) serves the Prometheus
 // exposition at GET /v1/metrics — per-endpoint request counts and
-// latency histograms, job-subsystem gauges/counters, plus per-step
+// latency histograms, job-subsystem gauges/counters, storage
+// fsync/WAL/segment metrics when -data-dir is set, plus per-step
 // pipeline durations once an enrichment has run. -pprof additionally
 // mounts net/http/pprof under /debug/pprof/ (off by default: it is a
 // profiling surface). -log-level gates the structured (log/slog)
@@ -43,6 +61,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -54,11 +73,13 @@ import (
 	"bioenrich/internal/obs"
 	"bioenrich/internal/ontology"
 	"bioenrich/internal/server"
+	"bioenrich/internal/state"
+	"bioenrich/internal/storage"
 )
 
 func main() {
-	corpusPath := flag.String("corpus", "", "corpus JSON file (required)")
-	ontPath := flag.String("ontology", "", "ontology JSON file (required)")
+	corpusPath := flag.String("corpus", "", "corpus JSON file (required unless -data-dir holds durable state)")
+	ontPath := flag.String("ontology", "", "ontology JSON file (required unless -data-dir holds durable state)")
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "worker pool for /enrich steps II-IV (0 = all cores)")
 	readTimeout := flag.Duration("read-timeout", 30*time.Second, "max duration for reading a request")
@@ -72,6 +93,10 @@ func main() {
 	jobQueue := flag.Int("job-queue", 0, "max queued async enrichment jobs; submissions past it get 429 (0 = default 16)")
 	jobWorkers := flag.Int("job-workers", 0, "concurrent async job runners (0 = default 1)")
 	jobTTL := flag.Duration("job-ttl", 0, "retention for finished jobs before GC (0 = default 15m, negative = forever)")
+	dataDir := flag.String("data-dir", "", "durable state directory: WAL + snapshot segments; empty = in-memory only")
+	walSync := flag.Bool("wal-sync", true, "fsync the WAL on every ingest before acknowledging (false trades crash-safety for throughput)")
+	retainSegments := flag.Int("retain-segments", 0, "full snapshot segments to keep in -data-dir (0 = default 3, negative = all)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "write a full segment every N ingest batches, bounding boot replay (0 = default 256, negative = never automatically)")
 	flag.Parse()
 
 	level, err := obs.ParseLevel(*logLevel)
@@ -82,20 +107,10 @@ func main() {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	slog.SetDefault(logger)
 
-	if *corpusPath == "" || *ontPath == "" {
-		fmt.Fprintln(os.Stderr, "serve: -corpus and -ontology are required")
-		os.Exit(1)
-	}
-	c, err := corpus.Load(*corpusPath)
-	if err != nil {
-		fatal(logger, "load corpus", err)
-	}
-	o, err := ontology.Load(*ontPath)
-	if err != nil {
-		fatal(logger, "load ontology", err)
-	}
-	cfg := core.DefaultConfig()
-	cfg.Workers = *workers
+	// The signal context exists before any I/O so boot-time recovery
+	// runs (and is instrumented) under the process lifetime.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 
 	opts := server.Options{
 		Pprof:         *pprofFlag,
@@ -110,9 +125,50 @@ func main() {
 		opts.Obs = obs.New()
 	}
 
+	var c *corpus.Corpus
+	var o *ontology.Ontology
+	var backend *storage.Disk
+	if *dataDir != "" {
+		backend, err = storage.OpenDisk(storage.DiskOptions{
+			Dir:             *dataDir,
+			DisableWALSync:  !*walSync,
+			Retain:          *retainSegments,
+			CheckpointEvery: *checkpointEvery,
+			Obs:             opts.Obs,
+		})
+		if err != nil {
+			fatal(logger, "open data dir", err)
+		}
+		defer backend.Close()
+		snap, recovered, err := backend.Recover(ctx)
+		if err != nil {
+			fatal(logger, "recover durable state", err)
+		}
+		if recovered {
+			c, o = snap.Corpus, snap.Ontology
+			opts.BootEpoch = snap.Epoch
+			logger.Info("warm restart from durable state",
+				"data_dir", *dataDir, "epoch", snap.Epoch,
+				"docs", c.NumDocs(), "concepts", o.NumConcepts())
+		} else {
+			c, o = loadSeed(logger, *corpusPath, *ontPath)
+			// Seed the directory so the next boot warm-restarts even if
+			// no ingest ever lands.
+			if err := backend.Checkpoint(&state.Snapshot{Corpus: c, Ontology: o, Epoch: 1}); err != nil {
+				fatal(logger, "seed data dir", err)
+			}
+			logger.Info("cold start: seeded data dir", "data_dir", *dataDir)
+		}
+		opts.Durability = backend
+	} else {
+		c, o = loadSeed(logger, *corpusPath, *ontPath)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Workers = *workers
+
 	app := server.NewWithOptions(c, o, cfg, opts)
 	srv := &http.Server{
-		Addr:              *addr,
 		Handler:           app.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       *readTimeout,
@@ -120,25 +176,31 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
 	// Job workers live under the signal context: SIGINT/SIGTERM cancels
 	// running jobs alongside the HTTP drain.
 	app.Start(ctx)
+
+	// Listen explicitly (rather than ListenAndServe) so the resolved
+	// address — including a kernel-assigned port for ":0" — lands in
+	// the log, where restart tooling can read it.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(logger, "listen", err)
+	}
 
 	errc := make(chan error, 1)
 	go func() {
 		logger.Info("serving",
 			"docs", c.NumDocs(), "concepts", o.NumConcepts(),
-			"addr", *addr, "workers", *workers,
-			"metrics", *metrics, "pprof", *pprofFlag)
-		errc <- srv.ListenAndServe()
+			"addr", ln.Addr().String(), "workers", *workers,
+			"metrics", *metrics, "pprof", *pprofFlag, "data_dir", *dataDir)
+		errc <- srv.Serve(ln)
 	}()
 
 	select {
 	case err := <-errc:
-		// ListenAndServe never returns nil; any return here is fatal.
-		fatal(logger, "listen", err)
+		// Serve never returns nil; any return here is fatal.
+		fatal(logger, "serve", err)
 	case <-ctx.Done():
 		stop() // restore default signal handling: a second ^C kills immediately
 		logger.Info("signal received, draining", "grace", *shutdownTimeout)
@@ -151,8 +213,34 @@ func main() {
 			fatal(logger, "serve", err)
 		}
 		app.Wait() // job workers exit after the signal context cancelled
+		if backend != nil {
+			// A clean shutdown checkpoint bounds the next boot's WAL
+			// replay to zero records. A crash skips this — that is what
+			// recovery is for.
+			if err := backend.Checkpoint(app.Snapshot()); err != nil {
+				logger.Warn("shutdown checkpoint failed; next boot will replay the WAL", "err", err)
+			}
+		}
 		logger.Info("stopped cleanly")
 	}
+}
+
+// loadSeed loads the cold-start corpus and ontology from the -corpus
+// and -ontology flags, which are mandatory in that case.
+func loadSeed(logger *slog.Logger, corpusPath, ontPath string) (*corpus.Corpus, *ontology.Ontology) {
+	if corpusPath == "" || ontPath == "" {
+		fmt.Fprintln(os.Stderr, "serve: -corpus and -ontology are required (no durable state to restart from)")
+		os.Exit(1)
+	}
+	c, err := corpus.Load(corpusPath)
+	if err != nil {
+		fatal(logger, "load corpus", err)
+	}
+	o, err := ontology.Load(ontPath)
+	if err != nil {
+		fatal(logger, "load ontology", err)
+	}
+	return c, o
 }
 
 func fatal(logger *slog.Logger, what string, err error) {

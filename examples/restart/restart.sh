@@ -1,0 +1,59 @@
+#!/bin/sh
+# Durable-state walkthrough: run the server with a data directory,
+# ingest a document, crash it with SIGKILL, and watch the restart
+# recover the exact pre-crash epoch — without the -corpus/-ontology
+# seed flags, because the data dir is now the source of truth.
+#
+# Prereqs: go toolchain and curl, run from the repo root.
+#
+#	sh examples/restart/restart.sh
+set -eu
+
+WORK="$(mktemp -d)"
+PID=""
+cleanup() {
+	[ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true
+	rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$WORK/serve" ./cmd/serve
+go run ./cmd/gencorpus -out "$WORK/data"
+
+wait_healthy() {
+	for _ in $(seq 1 100); do
+		curl -fsS "$1/v1/health" >/dev/null 2>&1 && return 0
+		sleep 0.1
+	done
+	echo "server never became healthy"; exit 1
+}
+
+echo
+echo "== 1. cold start: seed files are loaded and checkpointed into the data dir"
+"$WORK/serve" -addr 127.0.0.1:8941 -data-dir "$WORK/state" \
+	-corpus "$WORK/data/corpus.json" -ontology "$WORK/data/ontology.json" \
+	2>"$WORK/life1.log" &
+PID=$!
+BASE=http://127.0.0.1:8941
+wait_healthy "$BASE"
+curl -fsS "$BASE/v1/health"; echo
+
+echo
+echo "== 2. ingest: the batch is WAL-logged and fsynced BEFORE the 200 comes back"
+curl -fsS -X POST "$BASE/v1/documents" -H 'Content-Type: application/json' \
+	-d '[{"id":"crash-proof","text":"macular degeneration with retinal drusen"}]'; echo
+curl -fsS "$BASE/v1/health"; echo
+
+echo
+echo "== 3. crash: SIGKILL, no graceful shutdown, no final checkpoint"
+kill -9 "$PID"; wait "$PID" 2>/dev/null || true; PID=""
+
+echo
+echo "== 4. warm restart: no seed flags; newest segment + WAL replay"
+"$WORK/serve" -addr 127.0.0.1:8941 -data-dir "$WORK/state" 2>"$WORK/life2.log" &
+PID=$!
+wait_healthy "$BASE"
+curl -fsS "$BASE/v1/health"; echo
+grep -o 'warm restart[^"]*' "$WORK/life2.log" | head -n 1 || true
+echo
+echo "Same docs, same epoch: the acknowledged ingest survived the kill."

@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 
+	"bioenrich/internal/storage/fsio"
 	"bioenrich/internal/textutil"
 )
 
@@ -81,25 +82,27 @@ func (c *Corpus) indexFromTokens() {
 	c.built = true
 }
 
-// SaveBinary writes the binary image to a file.
+// SaveBinary writes the binary image to a file crash-safely
+// (write-temp → fsync → rename; see fsio.WriteAtomic): a crash
+// mid-save can never leave a torn image at path.
 func (c *Corpus) SaveBinary(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("corpus: save binary: %w", err)
+	if err := fsio.WriteAtomic(path, c.WriteBinary); err != nil {
+		return fmt.Errorf("corpus: save binary %s: %w", path, err)
 	}
-	defer f.Close()
-	if err := c.WriteBinary(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return nil
 }
 
-// LoadBinary reads a corpus file written by SaveBinary.
+// LoadBinary reads a corpus file written by SaveBinary. Decode errors
+// name the path.
 func LoadBinary(path string) (*Corpus, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("corpus: load binary: %w", err)
 	}
 	defer f.Close()
-	return ReadBinary(f)
+	c, err := ReadBinary(f)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: load binary %s: %w", path, err)
+	}
+	return c, nil
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 
+	"bioenrich/internal/storage/fsio"
 	"bioenrich/internal/textutil"
 )
 
@@ -30,17 +31,14 @@ func (c *Corpus) Write(w io.Writer) error {
 	return nil
 }
 
-// Save writes the corpus to a file.
+// Save writes the corpus to a file crash-safely: the bytes are staged
+// in a temp file, fsynced, and renamed over path, so a crash mid-save
+// leaves the previous file (or nothing) rather than a torn one.
 func (c *Corpus) Save(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("corpus: save: %w", err)
+	if err := fsio.WriteAtomic(path, c.Write); err != nil {
+		return fmt.Errorf("corpus: save %s: %w", path, err)
 	}
-	defer f.Close()
-	if err := c.Write(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return nil
 }
 
 // ReadFrom deserializes a corpus written by Write and builds its
@@ -59,12 +57,18 @@ func ReadFrom(r io.Reader) (*Corpus, error) {
 	return c, nil
 }
 
-// Load reads a corpus file written by Save.
+// Load reads a corpus file written by Save. Errors name the path —
+// a decode failure in a boot sequence that touches several files must
+// say which one is bad.
 func Load(path string) (*Corpus, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("corpus: load: %w", err)
 	}
 	defer f.Close()
-	return ReadFrom(f)
+	c, err := ReadFrom(f)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: load %s: %w", path, err)
+	}
+	return c, nil
 }

@@ -1,0 +1,124 @@
+package corpus
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bioenrich/internal/textutil"
+)
+
+func persistFixture() *Corpus {
+	c := New(textutil.English)
+	c.Add(Document{ID: "d1", Title: "t", Text: "basal cell carcinoma of the skin"})
+	c.Build()
+	return c
+}
+
+// TestSaveIsAtomic: a save over an existing file replaces it without
+// ever exposing a torn intermediate, and leaves no temp litter.
+func TestSaveIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "corpus.json")
+	c := persistFixture()
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	c.Add(Document{ID: "d2", Text: "squamous cell carcinoma"})
+	c.Build()
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("data dir holds %d entries after two saves, want just the file", len(entries))
+	}
+	c2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.NumDocs() != 2 {
+		t.Fatalf("reloaded %d docs, want 2", c2.NumDocs())
+	}
+}
+
+// TestLoadErrorsNamePath: a boot sequence loading several files must
+// be able to say which one is bad.
+func TestLoadErrorsNamePath(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "broken.json")
+	if err := os.WriteFile(jsonPath, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(jsonPath); err == nil || !strings.Contains(err.Error(), jsonPath) {
+		t.Errorf("Load error %q does not name %s", err, jsonPath)
+	}
+
+	gobPath := filepath.Join(dir, "broken.gob")
+	if err := os.WriteFile(gobPath, []byte("not gob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBinary(gobPath); err == nil || !strings.Contains(err.Error(), gobPath) {
+		t.Errorf("LoadBinary error %q does not name %s", err, gobPath)
+	}
+}
+
+// TestLoadBinaryValidatesImage: a structurally valid gob whose token
+// streams do not match its documents is corrupt and must be refused
+// with the path in the error, not loaded into a half-built index.
+func TestLoadBinaryValidatesImage(t *testing.T) {
+	env := binaryEnvelope{
+		Magic:  binaryMagic,
+		Lang:   "en",
+		Docs:   []Document{{ID: "d1", Text: "alpha"}, {ID: "d2", Text: "beta"}},
+		Tokens: [][]string{{"alpha"}}, // one stream for two docs
+	}
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	if err := gob.NewEncoder(bw).Encode(&env); err != nil {
+		t.Fatal(err)
+	}
+	bw.Flush()
+	path := filepath.Join(t.TempDir(), "mismatch.gob")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadBinary(path)
+	if err == nil {
+		t.Fatal("token/doc mismatch accepted")
+	}
+	if !strings.Contains(err.Error(), path) || !strings.Contains(err.Error(), "token streams") {
+		t.Errorf("error %q should name the path and the mismatch", err)
+	}
+}
+
+// TestSaveFailureLeavesOldFile: a save into an unwritable directory
+// fails without harming the previous file.
+func TestSaveFailureLeavesOldFile(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("root ignores directory permissions")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "corpus.json")
+	c := persistFixture()
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if err := c.Save(path); err == nil {
+		t.Fatal("save into read-only dir succeeded")
+	}
+	if _, err := Load(path); err != nil {
+		t.Errorf("previous file harmed by failed save: %v", err)
+	}
+}

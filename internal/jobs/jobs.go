@@ -73,6 +73,10 @@ const (
 	DurationMetric = "bioenrich_job_duration_seconds"
 )
 
+// DefaultTTL is the finished-job retention applied when Options.TTL
+// is zero.
+const DefaultTTL = 15 * time.Minute
+
 // Options configures a Manager. The zero value gets sane defaults.
 type Options struct {
 	// Queue bounds how many submitted jobs may wait for a worker;
@@ -82,8 +86,15 @@ type Options struct {
 	// background enrichment at a time, which keeps the default memory
 	// footprint of clone-heavy apply jobs bounded.
 	Workers int
-	// TTL is how long finished jobs remain pollable before the sweeper
-	// removes them. 0 means 15 minutes; negative retains forever.
+	// TTL is how long finished jobs remain pollable. The two sentinels
+	// are deliberate and distinct:
+	//
+	//	TTL > 0   retain for TTL; a background sweeper GCs expired jobs
+	//	TTL == 0  DefaultTTL (15 minutes) — zero is "unset", never
+	//	          "keep forever", so a zero-valued Options cannot leak
+	//	          job records unboundedly
+	//	TTL < 0   retain forever: GC is a no-op and Start launches no
+	//	          sweeper goroutine
 	TTL time.Duration
 	// Obs receives queue depth, per-state transition counters and the
 	// job duration histogram. nil disables instrumentation.
@@ -98,10 +109,15 @@ func (o Options) withDefaults() Options {
 		o.Workers = 1
 	}
 	if o.TTL == 0 {
-		o.TTL = 15 * time.Minute
+		o.TTL = DefaultTTL
 	}
 	return o
 }
+
+// ttlDisabled reports whether finished jobs are retained forever.
+// After withDefaults the TTL is never zero, so "disabled" has exactly
+// one spelling: negative.
+func (m *Manager) ttlDisabled() bool { return m.opts.TTL < 0 }
 
 // Fn is the work a job performs. It must honor ctx — the manager
 // cancels it on DELETE and on shutdown — and return its result (any
@@ -112,9 +128,9 @@ type Fn func(ctx context.Context) (any, error)
 // manager has moved on.
 type Job struct {
 	ID        string
-	Kind      string    // what the job does, e.g. "enrich"
-	RequestID string    // X-Request-ID of the submitting request
-	Epoch     uint64    // snapshot epoch the job was submitted under
+	Kind      string // what the job does, e.g. "enrich"
+	RequestID string // X-Request-ID of the submitting request
+	Epoch     uint64 // snapshot epoch the job was submitted under
 	Status    Status
 	Created   time.Time
 	Started   time.Time // zero until running
@@ -142,6 +158,11 @@ type Manager struct {
 	queue   chan *job
 	root    context.Context
 	started bool
+	// sweeping records whether Start launched the TTL sweeper; it
+	// stays false when the TTL is negative (retain forever). Exposed
+	// via Sweeping so tests can assert the goroutine truly isn't
+	// running, not just that GC declines to collect.
+	sweeping bool
 
 	wg sync.WaitGroup
 
@@ -173,15 +194,26 @@ func (m *Manager) Start(ctx context.Context) {
 	}
 	m.started = true
 	m.root = ctx
+	m.sweeping = !m.ttlDisabled()
+	sweep := m.sweeping
 	m.mu.Unlock()
 	for i := 0; i < m.opts.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker(ctx)
 	}
-	if m.opts.TTL > 0 {
+	if sweep {
 		m.wg.Add(1)
 		go m.sweeper(ctx)
 	}
+}
+
+// Sweeping reports whether Start launched the background TTL sweeper.
+// It is false before Start and forever false when Options.TTL is
+// negative (retain-forever mode runs no sweeper at all).
+func (m *Manager) Sweeping() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sweeping
 }
 
 // Wait blocks until every worker has exited (after the Start context
@@ -289,7 +321,7 @@ func (m *Manager) Cancel(id string) (Job, error) {
 // Options.TTL, returning how many were removed. The background
 // sweeper calls it periodically; tests call it directly.
 func (m *Manager) GC() int {
-	if m.opts.TTL < 0 {
+	if m.ttlDisabled() {
 		return 0
 	}
 	cutoff := time.Now().Add(-m.opts.TTL)

@@ -298,3 +298,72 @@ func TestJobMetrics(t *testing.T) {
 		t.Errorf("duration observations = %v, want 1", got)
 	}
 }
+
+// TestTTLSemantics pins the three TTL regimes: positive sweeps,
+// zero defaults to DefaultTTL (and sweeps on that schedule), and
+// negative retains forever without ever starting the sweeper.
+func TestTTLSemantics(t *testing.T) {
+	finish := func(m *Manager) Job {
+		t.Helper()
+		j, err := m.Submit("quick", "", 1, func(context.Context) (any, error) { return nil, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return await(t, m, j.ID)
+	}
+
+	t.Run("zero means DefaultTTL", func(t *testing.T) {
+		m := startManager(t, Options{})
+		if got := m.opts.TTL; got != DefaultTTL {
+			t.Fatalf("defaulted TTL = %v, want %v", got, DefaultTTL)
+		}
+		if !m.Sweeping() {
+			t.Error("default TTL should start the sweeper")
+		}
+		j := finish(m)
+		// A just-finished job is far inside the 15m default window.
+		if removed := m.GC(); removed != 0 {
+			t.Errorf("GC removed %d fresh jobs, want 0", removed)
+		}
+		if _, ok := m.Get(j.ID); !ok {
+			t.Error("fresh job swept under default TTL")
+		}
+	})
+
+	t.Run("negative retains forever and starts no sweeper", func(t *testing.T) {
+		m := startManager(t, Options{TTL: -1})
+		if m.Sweeping() {
+			t.Error("negative TTL must not start the sweeper goroutine")
+		}
+		j := finish(m)
+		time.Sleep(2 * time.Millisecond)
+		if removed := m.GC(); removed != 0 {
+			t.Errorf("GC removed %d with TTL disabled, want 0", removed)
+		}
+		if _, ok := m.Get(j.ID); !ok {
+			t.Error("job swept despite retain-forever TTL")
+		}
+	})
+
+	t.Run("positive sweeps and reports sweeper", func(t *testing.T) {
+		m := startManager(t, Options{TTL: time.Nanosecond})
+		if !m.Sweeping() {
+			t.Error("positive TTL should start the sweeper")
+		}
+		j := finish(m)
+		time.Sleep(2 * time.Millisecond)
+		if removed := m.GC(); removed != 1 {
+			t.Errorf("GC removed %d, want 1", removed)
+		}
+		if _, ok := m.Get(j.ID); ok {
+			t.Error("expired job still retained")
+		}
+	})
+
+	t.Run("sweeping is false before Start", func(t *testing.T) {
+		m := New(Options{})
+		if m.Sweeping() {
+			t.Error("Sweeping() true before Start")
+		}
+	})
+}

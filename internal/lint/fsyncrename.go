@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// FsyncRename enforces the storage layer's crash-safety idiom: an
+// os.Rename that publishes a file (atomic write-temp → rename) is only
+// durable if the file's bytes were fsynced first — rename alone
+// reorders freely against data writes on most filesystems, so a crash
+// can publish a name pointing at garbage. Within internal/storage
+// (and its subpackages), every function that calls os.Rename must
+// call a .Sync() earlier in its body. Packages outside the storage
+// layer are out of scope: they are expected to publish files through
+// fsio.WriteAtomic rather than hand-rolling renames.
+var FsyncRename = &Analyzer{
+	Name: "fsync-before-rename",
+	Doc:  "in internal/storage, os.Rename must be preceded by a .Sync() in the same function (durable atomic publish)",
+	Run:  runFsyncRename,
+}
+
+func runFsyncRename(p *Pass) {
+	if !strings.Contains(p.Pkg.PkgPath, "internal/storage") {
+		return
+	}
+	forEachFunc(p.Pkg, func(fd *ast.FuncDecl) {
+		var syncs []token.Pos
+		var renames []*ast.CallExpr
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkgPath, name := calleePkgFunc(p.Pkg.Info, call); pkgPath == "os" && name == "Rename" {
+				renames = append(renames, call)
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Sync" && len(call.Args) == 0 {
+				syncs = append(syncs, call.Pos())
+			}
+			return true
+		})
+		for _, r := range renames {
+			preceded := false
+			for _, s := range syncs {
+				if s < r.Pos() {
+					preceded = true
+					break
+				}
+			}
+			if !preceded {
+				p.Reportf(r.Pos(), "os.Rename in %s without a preceding .Sync(): the rename can publish unsynced bytes after a crash", fd.Name.Name)
+			}
+		}
+	})
+}

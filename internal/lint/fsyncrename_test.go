@@ -1,0 +1,25 @@
+package lint_test
+
+import (
+	"testing"
+
+	"bioenrich/internal/lint"
+)
+
+// TestFsyncRenameGolden covers the crash-safe publish rule: an
+// os.Rename with no earlier .Sync() in a storage package is a finding,
+// the sync-then-rename idiom is not, and //biolint:allow works.
+func TestFsyncRenameGolden(t *testing.T) {
+	pkgs := loadFixture(t, "./internal/storage")
+	checkWant(t, pkgs, lint.Run(pkgs, []*lint.Analyzer{lint.FsyncRename}))
+}
+
+// TestFsyncRenameScope: packages outside internal/storage may rename
+// without syncing (they are expected to go through fsio.WriteAtomic);
+// the rule must not fire there.
+func TestFsyncRenameScope(t *testing.T) {
+	pkgs := loadFixture(t, "./internal/renamer")
+	if got := lint.Run(pkgs, []*lint.Analyzer{lint.FsyncRename}); len(got) != 0 {
+		t.Errorf("fsync-before-rename fired outside the storage layer: %v", got)
+	}
+}

@@ -18,6 +18,9 @@
 //     state.Store snapshots and must stay lock-free; any sync
 //     Lock/RLock acquisition there reintroduces reader/writer
 //     blocking.
+//   - fsync-before-rename: in internal/storage, a function calling
+//     os.Rename must fsync first — the atomic-publish idiom is only
+//     crash-safe when the renamed bytes are already on disk.
 //
 // The suite is built on stdlib go/ast + go/parser + go/types only (no
 // golang.org/x/tools dependency, mirroring the repo-wide stdlib-only
@@ -85,7 +88,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers returns the full biolint suite.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Nondeterminism, ContextBackground, ObsNilCheck, MutexReturn, HandlerLock}
+	return []*Analyzer{Nondeterminism, ContextBackground, ObsNilCheck, MutexReturn, HandlerLock, FsyncRename}
 }
 
 // Run applies every analyzer to every package, resolves

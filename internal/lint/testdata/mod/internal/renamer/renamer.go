@@ -1,0 +1,9 @@
+// Package renamer renames without syncing outside the storage layer —
+// the fsync-before-rename rule must stay out of scope here.
+package renamer
+
+import "os"
+
+func shuffle(a, b string) error {
+	return os.Rename(a, b)
+}

@@ -1,0 +1,43 @@
+// Package storage is the fsync-before-rename fixture: renames inside
+// a storage package must be preceded by a Sync in the same function.
+package storage
+
+import "os"
+
+// publishUnsynced renames without any fsync — the finding case.
+func publishUnsynced(tmp, dst string) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString("payload"); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, dst) // want "os.Rename in publishUnsynced without a preceding .Sync"
+}
+
+// publishSynced fsyncs before the rename — the idiom the rule wants.
+func publishSynced(tmp, dst string) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, dst)
+}
+
+// renameOnly has a recorded reason to skip the rule.
+func renameOnly(tmp, dst string) error {
+	//biolint:allow fsync-before-rename fixture: moving between names, source already durable
+	return os.Rename(tmp, dst)
+}

@@ -2,6 +2,8 @@ package ontology
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -101,5 +103,51 @@ func TestRemoveTermVariants(t *testing.T) {
 	o.RemoveTerm("never existed")
 	if o.NumTerms() != before {
 		t.Error("no-op removal changed the ontology")
+	}
+}
+
+// TestLoadErrorsNamePath: load failures must say which file is bad —
+// boot sequences touch several.
+func TestLoadErrorsNamePath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "broken.json")
+	if err := os.WriteFile(path, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil || !strings.Contains(err.Error(), path) {
+		t.Errorf("Load error %q does not name %s", err, path)
+	}
+}
+
+// TestSaveIsAtomic: saving over an existing ontology file replaces it
+// atomically with no temp litter left behind.
+func TestSaveIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ont.json")
+	o := New("mesh")
+	if _, err := o.AddConcept("D1", "eye diseases"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddSynonym("D1", "ocular diseases"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("dir holds %d entries after two saves, want 1", len(entries))
+	}
+	o2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2.NumTerms() != 2 {
+		t.Fatalf("reloaded %d terms, want 2", o2.NumTerms())
 	}
 }

@@ -6,6 +6,8 @@ import (
 	"io"
 	"os"
 	"sort"
+
+	"bioenrich/internal/storage/fsio"
 )
 
 // ontologyFile is the serialized envelope.
@@ -29,17 +31,14 @@ func (o *Ontology) Write(w io.Writer) error {
 	return nil
 }
 
-// Save writes the ontology to a file.
+// Save writes the ontology to a file crash-safely (write-temp →
+// fsync → rename; see fsio.WriteAtomic): a crash mid-save can never
+// leave a torn file at path.
 func (o *Ontology) Save(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("ontology: save: %w", err)
+	if err := fsio.WriteAtomic(path, o.Write); err != nil {
+		return fmt.Errorf("ontology: save %s: %w", path, err)
 	}
-	defer f.Close()
-	if err := o.Write(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return nil
 }
 
 // ReadFrom deserializes an ontology written by Write, rebuilding the
@@ -66,14 +65,19 @@ func ReadFrom(r io.Reader) (*Ontology, error) {
 	return o, nil
 }
 
-// Load reads an ontology file written by Save.
+// Load reads an ontology file written by Save. Decode and validation
+// errors name the path.
 func Load(path string) (*Ontology, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("ontology: load: %w", err)
 	}
 	defer f.Close()
-	return ReadFrom(f)
+	o, err := ReadFrom(f)
+	if err != nil {
+		return nil, fmt.Errorf("ontology: load %s: %w", path, err)
+	}
+	return o, nil
 }
 
 // Clone returns a deep copy of the ontology.

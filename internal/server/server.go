@@ -111,8 +111,19 @@ type Options struct {
 	// 0 means 1.
 	JobWorkers int
 	// JobTTL is how long finished jobs stay pollable before garbage
-	// collection. 0 means 15 minutes; negative retains forever.
+	// collection. 0 means the jobs package default (15 minutes);
+	// negative retains forever and starts no sweeper.
 	JobTTL time.Duration
+	// Durability, when non-nil, gates every snapshot publish: ingested
+	// documents are WAL-logged and committed ontologies
+	// segment-persisted before the in-memory swap (storage.Backend
+	// implements this). nil keeps the in-memory behavior.
+	Durability state.Durable
+	// BootEpoch is the epoch of the initial snapshot — set it to the
+	// recovered epoch on a warm restart so clients that pinned an
+	// epoch across the restart keep coherent conflict semantics. 0
+	// means a fresh store at epoch 1.
+	BootEpoch uint64
 }
 
 // Server wires a corpus and an ontology to HTTP handlers through a
@@ -146,8 +157,12 @@ func NewWithConfig(c *corpus.Corpus, o *ontology.Ontology, cfg core.Config) *Ser
 // The corpus and ontology seed the first snapshot; the caller must
 // not mutate them afterwards.
 func NewWithOptions(c *corpus.Corpus, o *ontology.Ontology, cfg core.Config, opts Options) *Server {
+	st := state.NewStoreAt(c, o, opts.BootEpoch)
+	if opts.Durability != nil {
+		st.SetDurable(opts.Durability)
+	}
 	return &Server{
-		state: state.NewStore(c, o),
+		state: st,
 		cfg:   cfg,
 		opts:  opts,
 		jobs: jobs.New(jobs.Options{
@@ -172,6 +187,11 @@ func (s *Server) Wait() { s.jobs.Wait() }
 // snapshot loads the current immutable snapshot: one atomic pointer
 // read, no lock, never blocks.
 func (s *Server) snapshot() *state.Snapshot { return s.state.Load() }
+
+// Snapshot exposes the current immutable snapshot to the embedding
+// process — cmd/serve checkpoints it on clean shutdown so the next
+// boot loads one segment instead of replaying a long WAL tail.
+func (s *Server) Snapshot() *state.Snapshot { return s.snapshot() }
 
 // Handler returns the routing http.Handler. Every endpoint is
 // wrapped with per-endpoint instrumentation (when Options.Obs is
@@ -521,12 +541,15 @@ func (s *Server) handleAddDocuments(w http.ResponseWriter, r *http.Request) {
 	}
 	// Ingestion must always land, so it goes through the serialized
 	// Update path (no epoch race to lose): clone, grow, reindex,
-	// commit. Readers keep the previous snapshot until the swap.
-	next, err := s.state.Update(func(snap *state.Snapshot) (*corpus.Corpus, *ontology.Ontology, error) {
+	// commit. The returned Delta carries the appended documents so a
+	// durable backend can WAL-log (and fsync) exactly this batch
+	// before the swap — crash recovery replays it verbatim. Readers
+	// keep the previous snapshot until the swap.
+	next, err := s.state.UpdateDelta(func(snap *state.Snapshot) (*corpus.Corpus, *ontology.Ontology, *state.Delta, error) {
 		cc := snap.Corpus.Clone()
 		cc.AddAll(docs)
 		cc.Build()
-		return cc, snap.Ontology, nil
+		return cc, snap.Ontology, &state.Delta{Docs: docs}, nil
 	})
 	if err != nil {
 		errorJSON(w, http.StatusInternalServerError, err)

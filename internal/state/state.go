@@ -39,6 +39,29 @@ type Snapshot struct {
 	Epoch uint64
 }
 
+// Delta is the incremental durable payload of a mutation — what a
+// Durable sink can log instead of persisting the whole snapshot. A
+// nil Delta tells the sink the mutation has no incremental form (an
+// enrichment apply rewrote the ontology in place), so durability
+// requires a full snapshot image.
+type Delta struct {
+	// Docs are the documents this mutation appended to the corpus, in
+	// ingestion order. This is exactly what a write-ahead log replays
+	// on boot to rebuild the post-mutation corpus from the previous
+	// snapshot.
+	Docs []corpus.Document
+}
+
+// Durable is the store's durability hook (implemented by
+// storage.Backend). BeforePublish runs under the writer mutex after
+// the next snapshot is built and before the pointer swap — the commit
+// point. Returning an error aborts the mutation with nothing
+// published, which is what makes "not durable until fsynced" hold:
+// readers can never observe an epoch that a crash could lose.
+type Durable interface {
+	BeforePublish(next *Snapshot, delta *Delta) error
+}
+
 // Store holds the current snapshot. The zero value is not usable;
 // call NewStore.
 type Store struct {
@@ -46,15 +69,39 @@ type Store struct {
 	// single atomic pointer read.
 	mu  sync.Mutex
 	cur atomic.Pointer[Snapshot]
+	// durable, when non-nil, gates every publish (guarded by mu).
+	durable Durable
 }
 
 // NewStore builds a store whose first snapshot (epoch 1) wraps c and
 // o. The caller hands over ownership: c and o must not be mutated
 // afterwards except through Commit/Update.
 func NewStore(c *corpus.Corpus, o *ontology.Ontology) *Store {
+	return NewStoreAt(c, o, 1)
+}
+
+// NewStoreAt builds a store whose first snapshot carries an explicit
+// epoch — the warm-restart entry point: a store recovered from disk
+// resumes at the exact pre-crash epoch, so clients that pinned an
+// epoch across the restart still get coherent ErrStale semantics.
+// epoch 0 is normalized to 1 (a fresh store).
+func NewStoreAt(c *corpus.Corpus, o *ontology.Ontology, epoch uint64) *Store {
+	if epoch == 0 {
+		epoch = 1
+	}
 	s := &Store{}
-	s.cur.Store(&Snapshot{Corpus: c, Ontology: o, Epoch: 1})
+	s.cur.Store(&Snapshot{Corpus: c, Ontology: o, Epoch: epoch})
 	return s
+}
+
+// SetDurable installs d as the durability hook consulted before every
+// publish. Install it before the store is shared with writers; a nil
+// d (the default) is the in-memory behavior, where the swap alone is
+// the commit point.
+func (s *Store) SetDurable(d Durable) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.durable = d
 }
 
 // Load returns the current snapshot. It never blocks — concurrent
@@ -81,7 +128,12 @@ func (s *Store) Commit(base *Snapshot, c *corpus.Corpus, o *ontology.Ontology) (
 		return nil, fmt.Errorf("%w: built on epoch %d, store at epoch %d", ErrStale, base.Epoch, cur.Epoch)
 	}
 	next := &Snapshot{Corpus: c, Ontology: o, Epoch: cur.Epoch + 1}
-	s.cur.Store(next)
+	// A commit has no incremental form — the enriched ontology is a
+	// rewrite — so the durability hook gets a nil delta and persists a
+	// full snapshot before the swap.
+	if err := s.publish(next, nil); err != nil {
+		return nil, err
+	}
 	return next, nil
 }
 
@@ -94,14 +146,41 @@ func (s *Store) Commit(base *Snapshot, c *corpus.Corpus, o *ontology.Ontology) (
 // nothing published. Readers are never blocked: they keep loading the
 // previous snapshot until the swap.
 func (s *Store) Update(fn func(*Snapshot) (*corpus.Corpus, *ontology.Ontology, error)) (*Snapshot, error) {
+	return s.UpdateDelta(func(snap *Snapshot) (*corpus.Corpus, *ontology.Ontology, *Delta, error) {
+		c, o, err := fn(snap)
+		return c, o, nil, err
+	})
+}
+
+// UpdateDelta is Update for mutations that can describe themselves
+// incrementally: fn additionally returns the Delta a durable sink
+// should log (for document ingestion, the appended docs — one WAL
+// record instead of a full snapshot rewrite). A nil delta downgrades
+// to full-snapshot durability, identical to Update.
+func (s *Store) UpdateDelta(fn func(*Snapshot) (*corpus.Corpus, *ontology.Ontology, *Delta, error)) (*Snapshot, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cur := s.cur.Load()
-	c, o, err := fn(cur)
+	c, o, delta, err := fn(cur)
 	if err != nil {
 		return nil, err
 	}
 	next := &Snapshot{Corpus: c, Ontology: o, Epoch: cur.Epoch + 1}
-	s.cur.Store(next)
+	if err := s.publish(next, delta); err != nil {
+		return nil, err
+	}
 	return next, nil
+}
+
+// publish is the single commit point: it consults the durability hook
+// (still under mu, still before any reader can see next) and performs
+// the pointer swap only once the mutation is durable. Callers hold mu.
+func (s *Store) publish(next *Snapshot, delta *Delta) error {
+	if s.durable != nil {
+		if err := s.durable.BeforePublish(next, delta); err != nil {
+			return fmt.Errorf("state: durability hook rejected epoch %d: %w", next.Epoch, err)
+		}
+	}
+	s.cur.Store(next)
+	return nil
 }

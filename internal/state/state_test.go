@@ -3,6 +3,7 @@ package state
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -149,5 +150,114 @@ func TestLoadNeverBlocks(t *testing.T) {
 	<-done
 	if st.Load().Epoch != 2 {
 		t.Errorf("epoch after update = %d", st.Load().Epoch)
+	}
+}
+
+// recordingDurable captures what the store hands its durability hook
+// and can be told to reject publishes.
+type recordingDurable struct {
+	calls []struct {
+		epoch uint64
+		docs  int // -1 for a nil delta
+	}
+	fail error
+}
+
+func (r *recordingDurable) BeforePublish(next *Snapshot, delta *Delta) error {
+	n := -1
+	if delta != nil {
+		n = len(delta.Docs)
+	}
+	r.calls = append(r.calls, struct {
+		epoch uint64
+		docs  int
+	}{next.Epoch, n})
+	return r.fail
+}
+
+// TestDurableHookSeesEveryPublish: Commit reports a nil delta (full
+// snapshot durability); UpdateDelta passes the mutation's delta
+// through verbatim.
+func TestDurableHookSeesEveryPublish(t *testing.T) {
+	c, o := fixture(t)
+	st := NewStore(c, o)
+	rec := &recordingDurable{}
+	st.SetDurable(rec)
+
+	if _, err := st.Commit(st.Load(), c, o.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	doc := corpus.Document{ID: "2", Text: "Retinal detachment."}
+	if _, err := st.UpdateDelta(func(cur *Snapshot) (*corpus.Corpus, *ontology.Ontology, *Delta, error) {
+		cc := cur.Corpus.Clone()
+		cc.Add(doc)
+		cc.Build()
+		return cc, cur.Ontology, &Delta{Docs: []corpus.Document{doc}}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Update(func(cur *Snapshot) (*corpus.Corpus, *ontology.Ontology, error) {
+		return cur.Corpus, cur.Ontology.Clone(), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []struct {
+		epoch uint64
+		docs  int
+	}{{2, -1}, {3, 1}, {4, -1}}
+	if len(rec.calls) != len(want) {
+		t.Fatalf("hook saw %d publishes, want %d", len(rec.calls), len(want))
+	}
+	for i, w := range want {
+		if rec.calls[i] != w {
+			t.Errorf("publish %d: hook saw %+v, want %+v", i, rec.calls[i], w)
+		}
+	}
+}
+
+// TestDurableHookFailureAbortsPublish: a rejected publish changes
+// nothing — readers can never observe an epoch that was not made
+// durable.
+func TestDurableHookFailureAbortsPublish(t *testing.T) {
+	c, o := fixture(t)
+	st := NewStore(c, o)
+	rec := &recordingDurable{fail: errors.New("disk on fire")}
+	st.SetDurable(rec)
+	before := st.Load()
+
+	if _, err := st.Commit(before, c, o.Clone()); err == nil || !strings.Contains(err.Error(), "disk on fire") {
+		t.Fatalf("commit error = %v, want the hook's failure wrapped", err)
+	}
+	if _, err := st.Update(func(cur *Snapshot) (*corpus.Corpus, *ontology.Ontology, error) {
+		return cur.Corpus, cur.Ontology.Clone(), nil
+	}); err == nil {
+		t.Fatal("update published despite hook failure")
+	}
+	if got := st.Load(); got != before || got.Epoch != 1 {
+		t.Fatalf("store advanced to epoch %d after rejected publishes", got.Epoch)
+	}
+
+	// Once the hook recovers, the same mutation lands at the epoch the
+	// failed attempts never consumed.
+	rec.fail = nil
+	next, err := st.Commit(st.Load(), c, o.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Epoch != 2 {
+		t.Errorf("post-recovery epoch = %d, want 2 (failures must not burn epochs)", next.Epoch)
+	}
+}
+
+// TestNewStoreAtEpoch: warm restarts resume at the recovered epoch;
+// epoch 0 normalizes to a fresh store.
+func TestNewStoreAtEpoch(t *testing.T) {
+	c, o := fixture(t)
+	if got := NewStoreAt(c, o, 42).Load().Epoch; got != 42 {
+		t.Errorf("NewStoreAt(42) epoch = %d", got)
+	}
+	if got := NewStoreAt(c, o, 0).Load().Epoch; got != 1 {
+		t.Errorf("NewStoreAt(0) epoch = %d, want 1", got)
 	}
 }

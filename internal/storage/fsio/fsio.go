@@ -1,0 +1,82 @@
+// Package fsio holds the crash-safe file primitives the persistence
+// layer is built on. It is a leaf package (stdlib only, no imports
+// from the rest of the repo) so that corpus, ontology and storage can
+// all share one write-temp → fsync → rename implementation instead of
+// each growing its own subtly torn-write-prone copy.
+//
+// The durability contract of WriteAtomic: after it returns nil, the
+// file at path contains exactly the written bytes even if the process
+// (or the machine) dies at any later instant; and at no instant during
+// the call does a partially-written file exist at path — a crash
+// mid-write leaves either the old content or nothing, never a torn
+// file. That is the rename-publish idiom: the data is staged in a
+// temp file in the same directory, fsynced, closed with a checked
+// error, renamed over the destination, and the directory entry itself
+// is fsynced so the rename survives a crash too.
+package fsio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteAtomic publishes the bytes produced by write at path using the
+// write-temp → fsync → rename sequence. write receives a buffered
+// writer; it must not retain it. On any error the temp file is
+// removed and the previous content of path (if any) is untouched.
+func WriteAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
+	if err != nil {
+		return fmt.Errorf("fsio: create temp for %s: %w", path, err)
+	}
+	tmp := f.Name()
+	fail := func(stage string, err error) error {
+		f.Close() // best-effort: the temp file is discarded either way
+		os.Remove(tmp)
+		return fmt.Errorf("fsio: %s for %s: %w", stage, path, err)
+	}
+	bw := bufio.NewWriter(f)
+	if err := write(bw); err != nil {
+		return fail("write", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fail("flush", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail("fsync", err)
+	}
+	// The one real close: a deferred second Close would return (and
+	// swallow) an error on every path, hiding a failed flush-to-disk.
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fsio: close temp for %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fsio: rename into %s: %w", path, err)
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory so a just-created, renamed or removed
+// entry survives a crash. Without it the rename in WriteAtomic is
+// durable only once the kernel flushes the directory on its own
+// schedule.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("fsio: open dir %s: %w", dir, err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("fsio: sync dir %s: %w", dir, err)
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package storage
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"bioenrich/internal/storage/fsio"
+)
+
+// manifest is the data directory's table of contents: which segment
+// epochs are retained and which WAL the next boot should replay last.
+// It is advisory — recovery cross-checks it against a directory scan
+// and trusts the files themselves (a manifest can be stale if the
+// process died between a segment rename and the manifest rewrite) —
+// but it records intent, makes `ls` comprehensible, and lets tooling
+// spot a directory whose files and manifest disagree.
+type manifest struct {
+	Format   string   `json:"format"`
+	Segments []uint64 `json:"segments"` // retained segment epochs, ascending
+	WALBase  uint64   `json:"wal_base"` // base epoch of the active WAL
+}
+
+const (
+	manifestName   = "MANIFEST.json"
+	manifestFormat = "bioenrich-manifest-v1"
+)
+
+// writeManifest atomically rewrites the manifest.
+func writeManifest(dir string, m manifest) error {
+	m.Format = manifestFormat
+	if m.Segments == nil {
+		m.Segments = []uint64{}
+	}
+	return fsio.WriteAtomic(filepath.Join(dir, manifestName), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(&m)
+	})
+}
+
+// readManifest loads the manifest if present and well-formed. ok is
+// false (with a nil error) when the file is missing — a pre-manifest
+// or freshly created directory — and when it is unreadable garbage,
+// because recovery must survive a manifest torn by the very crash it
+// is recovering from.
+func readManifest(dir string) (m manifest, ok bool) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return manifest{}, false
+	}
+	if err := json.Unmarshal(raw, &m); err != nil || m.Format != manifestFormat {
+		return manifest{}, false
+	}
+	return m, true
+}
+
+// removeIfExists deletes path, tolerating its absence.
+func removeIfExists(path string) error {
+	if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("storage: remove %s: %w", path, err)
+	}
+	return nil
+}

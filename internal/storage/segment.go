@@ -1,0 +1,158 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"bioenrich/internal/corpus"
+	"bioenrich/internal/ontology"
+	"bioenrich/internal/storage/fsio"
+)
+
+// Segment file layout:
+//
+//	seg-<epoch, 20 digits>.seg
+//	┌──────────────────────────────┐
+//	│ magic "bioenrich-seg-v1\n"   │  17 bytes
+//	├──────────────────────────────┤
+//	│ len u64 | crc u32            │  big-endian; crc over payload
+//	├──────────────────────────────┤
+//	│ payload (gob segmentEnvelope)│
+//	└──────────────────────────────┘
+//
+// The envelope nests the two formats the repo already round-trips:
+// Corpus carries a corpus.WriteBinary image (documents + token
+// streams, so boot skips re-tokenization), Ontology a JSON
+// ontology.Write image. Segments are immutable once published —
+// written with fsio.WriteAtomic, never appended to — and the epoch in
+// the name is authoritative only after the embedded epoch confirms it.
+
+const segMagic = "bioenrich-seg-v1\n"
+
+// segmentEnvelope is the gob payload of a segment file.
+type segmentEnvelope struct {
+	Epoch    uint64
+	Corpus   []byte // corpus.WriteBinary image
+	Ontology []byte // ontology.Write (JSON) image
+}
+
+// segName renders the file name for a snapshot at epoch.
+func segName(epoch uint64) string {
+	return fmt.Sprintf("seg-%020d.seg", epoch)
+}
+
+// segEpoch parses the epoch out of a segment file name, reporting
+// whether the name is one of ours.
+func segEpoch(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".seg") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".seg"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// writeSegment durably publishes (c, o, epoch) as an immutable segment
+// file in dir and returns its size in bytes. The write is atomic: a
+// crash at any point leaves either no segment for this epoch or a
+// complete, checksum-valid one.
+func writeSegment(dir string, epoch uint64, c *corpus.Corpus, o *ontology.Ontology) (int64, error) {
+	var cbuf, obuf bytes.Buffer
+	if err := c.WriteBinary(&cbuf); err != nil {
+		return 0, fmt.Errorf("storage: segment corpus image: %w", err)
+	}
+	if err := o.Write(&obuf); err != nil {
+		return 0, fmt.Errorf("storage: segment ontology image: %w", err)
+	}
+	var payload bytes.Buffer
+	env := segmentEnvelope{Epoch: epoch, Corpus: cbuf.Bytes(), Ontology: obuf.Bytes()}
+	if err := gob.NewEncoder(&payload).Encode(&env); err != nil {
+		return 0, fmt.Errorf("storage: encode segment: %w", err)
+	}
+	header := make([]byte, 12)
+	binary.BigEndian.PutUint64(header[0:8], uint64(payload.Len()))
+	binary.BigEndian.PutUint32(header[8:12], crc32.ChecksumIEEE(payload.Bytes()))
+	path := filepath.Join(dir, segName(epoch))
+	err := fsio.WriteAtomic(path, func(w io.Writer) error {
+		if _, err := io.WriteString(w, segMagic); err != nil {
+			return err
+		}
+		if _, err := w.Write(header); err != nil {
+			return err
+		}
+		_, err := w.Write(payload.Bytes())
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	return int64(len(segMagic) + len(header) + payload.Len()), nil
+}
+
+// readSegment loads and validates one segment file: magic, declared
+// length, checksum, embedded epoch, and both nested images must all
+// check out, or the segment is reported corrupt (the caller falls
+// back to an older one).
+func readSegment(path string) (*corpus.Corpus, *ontology.Ontology, uint64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("storage: read segment %s: %w", path, err)
+	}
+	if len(raw) < len(segMagic)+12 || string(raw[:len(segMagic)]) != segMagic {
+		return nil, nil, 0, fmt.Errorf("storage: segment %s: bad magic or truncated header", path)
+	}
+	body := raw[len(segMagic):]
+	length := binary.BigEndian.Uint64(body[0:8])
+	sum := binary.BigEndian.Uint32(body[8:12])
+	payload := body[12:]
+	if uint64(len(payload)) != length {
+		return nil, nil, 0, fmt.Errorf("storage: segment %s: %d payload bytes, header declares %d", path, len(payload), length)
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, nil, 0, fmt.Errorf("storage: segment %s: checksum mismatch", path)
+	}
+	var env segmentEnvelope
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&env); err != nil {
+		return nil, nil, 0, fmt.Errorf("storage: segment %s: decode envelope: %w", path, err)
+	}
+	if name, ok := segEpoch(filepath.Base(path)); ok && name != env.Epoch {
+		return nil, nil, 0, fmt.Errorf("storage: segment %s: embedded epoch %d disagrees with file name", path, env.Epoch)
+	}
+	c, err := corpus.ReadBinary(bytes.NewReader(env.Corpus))
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("storage: segment %s: corpus image: %w", path, err)
+	}
+	o, err := ontology.ReadFrom(bytes.NewReader(env.Ontology))
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("storage: segment %s: ontology image: %w", path, err)
+	}
+	return c, o, env.Epoch, nil
+}
+
+// listSegments returns the epochs of every segment file in dir,
+// sorted ascending.
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: read data dir %s: %w", dir, err)
+	}
+	var epochs []uint64
+	for _, e := range entries {
+		if n, ok := segEpoch(e.Name()); ok && !e.IsDir() {
+			epochs = append(epochs, n)
+		}
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+	return epochs, nil
+}

@@ -1,0 +1,73 @@
+#!/bin/sh
+# Crash-recovery smoke test against the real binary: serve with a data
+# dir, ingest documents, SIGKILL the process mid-flight, restart from
+# the data dir alone, and require the exact pre-kill epoch and document
+# count back. Exits non-zero on any divergence.
+#
+# Prereqs: go toolchain, curl. Run from the repo root (make restart-test).
+set -eu
+
+WORK="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+	[ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null || true
+	rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "== building serve"
+go build -o "$WORK/serve" ./cmd/serve
+go run ./cmd/gencorpus -out "$WORK/data"
+
+# field NAME < json: crude single-field extraction (no jq dependency).
+field() { sed -n "s/.*\"$1\":\"\{0,1\}\([^\",}]*\)\"\{0,1\}.*/\1/p" | head -n 1; }
+
+# start_serve LOGFILE ARGS...: launch, then scrape the resolved listen
+# address (we bind :0, the kernel picks the port) from the access log.
+start_serve() {
+	log="$1"; shift
+	"$WORK/serve" -addr 127.0.0.1:0 -data-dir "$WORK/state" "$@" 2>"$log" &
+	SERVE_PID=$!
+	for _ in $(seq 1 100); do
+		ADDR="$(grep -o 'addr=[^ ]*' "$log" | head -n 1 | cut -d= -f2 || true)"
+		[ -n "$ADDR" ] && break
+		sleep 0.1
+	done
+	[ -n "$ADDR" ] || { echo "server never logged its address"; cat "$log"; exit 1; }
+	BASE="http://$ADDR"
+	for _ in $(seq 1 100); do
+		curl -fsS "$BASE/v1/health" >/dev/null 2>&1 && return 0
+		sleep 0.1
+	done
+	echo "server at $BASE never became healthy"; cat "$log"; exit 1
+}
+
+echo "== first life: cold start + ingest"
+start_serve "$WORK/serve1.log" -corpus "$WORK/data/corpus.json" -ontology "$WORK/data/ontology.json"
+for i in 1 2 3; do
+	curl -fsS -X POST "$BASE/v1/documents" \
+		-H 'Content-Type: application/json' \
+		-d "[{\"id\":\"crash-$i\",\"text\":\"retinal detachment with vitreous hemorrhage $i\"}]" >/dev/null
+done
+HEALTH="$(curl -fsS "$BASE/v1/health")"
+WANT_DOCS="$(echo "$HEALTH" | field docs)"
+WANT_EPOCH="$(echo "$HEALTH" | field epoch)"
+echo "   pre-kill: docs=$WANT_DOCS epoch=$WANT_EPOCH"
+
+echo "== SIGKILL (no drain, no shutdown checkpoint)"
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+
+echo "== second life: recover from the data dir alone"
+start_serve "$WORK/serve2.log"
+HEALTH="$(curl -fsS "$BASE/v1/health")"
+GOT_DOCS="$(echo "$HEALTH" | field docs)"
+GOT_EPOCH="$(echo "$HEALTH" | field epoch)"
+echo "   post-restart: docs=$GOT_DOCS epoch=$GOT_EPOCH"
+
+if [ "$GOT_DOCS" != "$WANT_DOCS" ] || [ "$GOT_EPOCH" != "$WANT_EPOCH" ]; then
+	echo "FAIL: recovered docs=$GOT_DOCS epoch=$GOT_EPOCH, want docs=$WANT_DOCS epoch=$WANT_EPOCH"
+	exit 1
+fi
+echo "PASS: exact pre-kill state recovered"
