@@ -30,7 +30,7 @@ test:
 # mutex serializes WAL appends against checkpoints. CI
 # (.github/workflows/ci.yml) runs the same gate.
 race:
-	$(GO) test -race ./internal/core ./internal/server ./internal/linkage ./internal/obs ./internal/senseind ./internal/state ./internal/jobs ./internal/storage
+	$(GO) test -race ./internal/core ./internal/server ./internal/linkage ./internal/obs ./internal/senseind ./internal/state ./internal/jobs ./internal/storage ./internal/registry ./internal/classify ./internal/recommend
 
 # biolint is the repo's own analyzer suite (internal/lint, stdlib-only):
 # it mechanically enforces the determinism, context-propagation, obs

@@ -8,17 +8,21 @@ package bioenrich
 // regenerates the paper's values.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
+	"bioenrich/internal/classify"
 	"bioenrich/internal/cluster"
 	"bioenrich/internal/core"
 	"bioenrich/internal/experiments"
 	"bioenrich/internal/linkage"
 	"bioenrich/internal/obs"
 	"bioenrich/internal/polysemy"
+	"bioenrich/internal/recommend"
 	"bioenrich/internal/relext"
 	"bioenrich/internal/senseind"
+	"bioenrich/internal/state"
 	"bioenrich/internal/synth"
 	"bioenrich/internal/textutil"
 )
@@ -271,6 +275,84 @@ func BenchmarkCorpusIndexing(b *testing.B) {
 		fresh := newCorpus(textutil.English)
 		fresh.AddAll(docs)
 		fresh.Build()
+	}
+}
+
+// BenchmarkClassify times document→concept assignment over the
+// synthetic mesh. The "cached" sub-bench reuses one Classifier whose
+// per-epoch concept-profile index is built once; "uncached" pays the
+// full O(corpus) profile build every iteration (a fresh Classifier per
+// op — the cost every request would pay without the cache). cached
+// must beat uncached by a wide margin: that gap is the reason the
+// serving path is O(document), not O(corpus).
+func BenchmarkClassify(b *testing.B) {
+	mesh := synth.GenerateMesh(synth.DefaultMeshOptions())
+	copts := synth.DefaultCorpusOptions()
+	copts.DocsPerConcept = 3
+	c := synth.GenerateMeshCorpus(mesh, copts)
+	snap := state.NewStore(c, mesh.Ontology).Load()
+	text := c.Documents()[0].Text
+	ctx := context.Background()
+
+	b.Run("cached", func(b *testing.B) {
+		cl := classify.New(classify.Options{})
+		if _, err := cl.Classify(ctx, "bench", snap, text, 5); err != nil {
+			b.Fatal(err) // warm the index outside the timed loop
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cl.Classify(ctx, "bench", snap, text, 5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cl := classify.New(classify.Options{})
+			if _, err := cl.Classify(ctx, "bench", snap, text, 5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRecommend times corpus→ontology ranking across three hosted
+// mesh ontologies of different seeds (disjoint vocabularies).
+func BenchmarkRecommend(b *testing.B) {
+	var inputs []recommend.Input
+	var text string
+	for seed := int64(1); seed <= 3; seed++ {
+		mopts := synth.DefaultMeshOptions()
+		mopts.Seed = seed
+		copts := synth.DefaultCorpusOptions()
+		copts.Seed = seed
+		copts.DocsPerConcept = 2
+		mesh := synth.GenerateMesh(mopts)
+		c := synth.GenerateMeshCorpus(mesh, copts)
+		inputs = append(inputs, recommend.Input{
+			Name: fmt.Sprintf("mesh-%d", seed),
+			Snap: state.NewStore(c, mesh.Ontology).Load(),
+		})
+		if seed == 1 {
+			// Input corpus = mesh-1's own terminology, so mesh-1 must rank
+			// first (its vocabulary is disjoint from the other seeds').
+			for _, id := range mesh.Ontology.ConceptIDs()[:20] {
+				text += mesh.Ontology.Concept(id).Preferred + ". "
+			}
+		}
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	var top string
+	for i := 0; i < b.N; i++ {
+		scores, err := recommend.Rank(ctx, inputs, text, recommend.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		top = scores[0].Ontology
+	}
+	if top != "mesh-1" {
+		b.Fatalf("top ontology = %s, want mesh-1 (the text's source)", top)
 	}
 }
 

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestEntryFlagsSet(t *testing.T) {
+	var e entryFlags
+	if err := e.Set("agro=c.json,o.json"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Set("mesh=m-corpus.json,m-ont.json"); err != nil {
+		t.Fatal(err)
+	}
+	want := entryFlags{
+		{name: "agro", corpusPath: "c.json", ontPath: "o.json"},
+		{name: "mesh", corpusPath: "m-corpus.json", ontPath: "m-ont.json"},
+	}
+	if !reflect.DeepEqual(e, want) {
+		t.Fatalf("parsed = %+v, want %+v", e, want)
+	}
+	if got := e.String(); got != "agro=c.json,o.json mesh=m-corpus.json,m-ont.json" {
+		t.Fatalf("String() = %q", got)
+	}
+
+	bad := []string{
+		"no-equals",               // missing =
+		"agro=onlyone.json",       // missing comma
+		"agro=,o.json",            // empty corpus path
+		"agro=c.json,",            // empty ontology path
+		"Bad Name=c.json,o.json",  // invalid registry name
+		"default=c.json,o.json",   // reserved name
+		"agro=other.json,o2.json", // duplicate of an accepted entry
+	}
+	for _, v := range bad {
+		if err := e.Set(v); err == nil {
+			t.Errorf("Set(%q) unexpectedly succeeded", v)
+		}
+	}
+}
+
+func TestDiscoverEntries(t *testing.T) {
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+
+	// No ontologies directory at all: nothing to discover.
+	if got := discoverEntries(logger, t.TempDir()); got != nil {
+		t.Fatalf("empty data dir: got %v", got)
+	}
+
+	dataDir := t.TempDir()
+	mk := func(name string, populated bool) {
+		dir := filepath.Join(dataDir, "ontologies", name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if populated {
+			if err := os.WriteFile(filepath.Join(dir, "snapshot.json"), []byte("{}"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	mk("zeta", true)
+	mk("agro", true)
+	mk("empty-entry", false) // never checkpointed: skipped
+	mk("bad name", true)     // invalid registry name: skipped
+	// Stray file alongside the entry directories: skipped.
+	if err := os.WriteFile(filepath.Join(dataDir, "ontologies", "stray.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got := discoverEntries(logger, dataDir)
+	want := []string{"agro", "zeta"} // sorted
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("discovered = %v, want %v", got, want)
+	}
+}

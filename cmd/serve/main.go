@@ -5,12 +5,24 @@
 // Usage:
 //
 //	serve -corpus data/corpus.json -ontology data/ontology.json \
+//	      [-ontology-entry name=corpus.json,ontology.json ...] \
 //	      [-addr :8080] [-workers N] [-shutdown-timeout 10s] \
 //	      [-enrich-timeout 2m] [-metrics=true] [-pprof] \
 //	      [-log-level info] [-max-body 8388608] \
 //	      [-job-queue 16] [-job-workers 1] [-job-ttl 15m] \
 //	      [-data-dir data/state] [-wal-sync=true] \
 //	      [-retain-segments 3] [-checkpoint-every 256]
+//
+// Multi-ontology hosting: -corpus/-ontology seed the default registry
+// entry (every single-ontology route serves it); each repeatable
+// -ontology-entry flag hosts an additional named ontology, addressable
+// under /v1/ontologies/{name}/... and scored by POST /v1/recommend.
+// With -data-dir, the default entry's durable state lives at the
+// directory root (old data directories keep working) and each named
+// entry gets its own WAL + segments under
+// <data-dir>/ontologies/<name>/; ontologies created at runtime through
+// POST /v1/ontologies are persisted the same way and revived on the
+// next boot.
 //
 // The server is configured with conservative read/write timeouts so a
 // slow or stalled client cannot pin a connection forever, and shuts
@@ -65,6 +77,10 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -72,10 +88,59 @@ import (
 	"bioenrich/internal/corpus"
 	"bioenrich/internal/obs"
 	"bioenrich/internal/ontology"
+	"bioenrich/internal/registry"
 	"bioenrich/internal/server"
 	"bioenrich/internal/state"
 	"bioenrich/internal/storage"
 )
+
+// entrySpec is one parsed -ontology-entry value.
+type entrySpec struct {
+	name, corpusPath, ontPath string
+}
+
+// entryFlags collects repeatable -ontology-entry flags of the form
+// name=corpus.json,ontology.json.
+type entryFlags []entrySpec
+
+func (e *entryFlags) String() string {
+	parts := make([]string, len(*e))
+	for i, s := range *e {
+		parts[i] = s.name + "=" + s.corpusPath + "," + s.ontPath
+	}
+	return strings.Join(parts, " ")
+}
+
+func (e *entryFlags) Set(v string) error {
+	name, files, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want name=corpus.json,ontology.json, got %q", v)
+	}
+	if !registry.ValidName(name) {
+		return fmt.Errorf("invalid ontology name %q", name)
+	}
+	if name == server.DefaultOntology {
+		return fmt.Errorf("%q is reserved for the -corpus/-ontology entry", name)
+	}
+	cp, op, ok := strings.Cut(files, ",")
+	if !ok || cp == "" || op == "" {
+		return fmt.Errorf("want name=corpus.json,ontology.json, got %q", v)
+	}
+	for _, prev := range *e {
+		if prev.name == name {
+			return fmt.Errorf("duplicate ontology entry %q", name)
+		}
+	}
+	*e = append(*e, entrySpec{name: name, corpusPath: cp, ontPath: op})
+	return nil
+}
+
+// entryDataDir is where a named entry's durable state lives under the
+// server's -data-dir (the default entry stays at the root, keeping old
+// data directories valid).
+func entryDataDir(dataDir, name string) string {
+	return filepath.Join(dataDir, "ontologies", name)
+}
 
 func main() {
 	corpusPath := flag.String("corpus", "", "corpus JSON file (required unless -data-dir holds durable state)")
@@ -97,6 +162,8 @@ func main() {
 	walSync := flag.Bool("wal-sync", true, "fsync the WAL on every ingest before acknowledging (false trades crash-safety for throughput)")
 	retainSegments := flag.Int("retain-segments", 0, "full snapshot segments to keep in -data-dir (0 = default 3, negative = all)")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "write a full segment every N ingest batches, bounding boot replay (0 = default 256, negative = never automatically)")
+	var entries entryFlags
+	flag.Var(&entries, "ontology-entry", "additional hosted ontology as name=corpus.json,ontology.json (repeatable); served at /v1/ontologies/{name}")
 	flag.Parse()
 
 	level, err := obs.ParseLevel(*logLevel)
@@ -125,49 +192,118 @@ func main() {
 		opts.Obs = obs.New()
 	}
 
-	var c *corpus.Corpus
-	var o *ontology.Ontology
-	var backend *storage.Disk
-	if *dataDir != "" {
-		backend, err = storage.OpenDisk(storage.DiskOptions{
-			Dir:             *dataDir,
+	// backends tracks every open disk backend by entry name so the
+	// clean-shutdown path can checkpoint each one. Runtime-created
+	// entries (POST /v1/ontologies) add to it concurrently, hence the
+	// mutex.
+	var backendsMu sync.Mutex
+	backends := map[string]*storage.Disk{}
+	defer func() {
+		backendsMu.Lock()
+		defer backendsMu.Unlock()
+		for _, b := range backends {
+			b.Close()
+		}
+	}()
+	diskOptsFor := func(dir string) storage.DiskOptions {
+		return storage.DiskOptions{
+			Dir:             dir,
 			DisableWALSync:  !*walSync,
 			Retain:          *retainSegments,
 			CheckpointEvery: *checkpointEvery,
 			Obs:             opts.Obs,
-		})
-		if err != nil {
-			fatal(logger, "open data dir", err)
 		}
-		defer backend.Close()
-		snap, recovered, err := backend.Recover(ctx)
-		if err != nil {
-			fatal(logger, "recover durable state", err)
+	}
+
+	// openEntryStore boots one entry: with a data dir it recovers (warm)
+	// or seeds (cold) the per-entry backend; without, it loads the seed
+	// files into RAM. An empty seed path pair is only legal on a warm
+	// restart.
+	openEntryStore := func(name, dir, cPath, oPath string) *state.Store {
+		if dir == "" {
+			ec, eo := loadSeed(logger, cPath, oPath)
+			return state.NewStore(ec, eo)
 		}
+		b, err := storage.OpenDisk(diskOptsFor(dir))
+		if err != nil {
+			fatal(logger, "open data dir for "+name, err)
+		}
+		snap, recovered, err := b.Recover(ctx)
+		if err != nil {
+			fatal(logger, "recover durable state for "+name, err)
+		}
+		var st *state.Store
 		if recovered {
-			c, o = snap.Corpus, snap.Ontology
-			opts.BootEpoch = snap.Epoch
-			logger.Info("warm restart from durable state",
-				"data_dir", *dataDir, "epoch", snap.Epoch,
-				"docs", c.NumDocs(), "concepts", o.NumConcepts())
+			st = state.NewStoreAt(snap.Corpus, snap.Ontology, snap.Epoch)
+			logger.Info("warm restart from durable state", "ontology", name,
+				"data_dir", dir, "epoch", snap.Epoch,
+				"docs", snap.Corpus.NumDocs(), "concepts", snap.Ontology.NumConcepts())
 		} else {
-			c, o = loadSeed(logger, *corpusPath, *ontPath)
+			ec, eo := loadSeed(logger, cPath, oPath)
 			// Seed the directory so the next boot warm-restarts even if
 			// no ingest ever lands.
-			if err := backend.Checkpoint(&state.Snapshot{Corpus: c, Ontology: o, Epoch: 1}); err != nil {
-				fatal(logger, "seed data dir", err)
+			if err := b.Checkpoint(&state.Snapshot{Corpus: ec, Ontology: eo, Epoch: 1}); err != nil {
+				fatal(logger, "seed data dir for "+name, err)
 			}
-			logger.Info("cold start: seeded data dir", "data_dir", *dataDir)
+			logger.Info("cold start: seeded data dir", "ontology", name, "data_dir", dir)
+			st = state.NewStore(ec, eo)
 		}
-		opts.Durability = backend
-	} else {
-		c, o = loadSeed(logger, *corpusPath, *ontPath)
+		st.SetDurable(b)
+		backends[name] = b
+		return st
 	}
+
+	defaultDir := ""
+	if *dataDir != "" {
+		defaultDir = *dataDir // default entry stays at the root: old data dirs keep working
+	}
+	reg := registry.MustNew(server.DefaultOntology, openEntryStore(server.DefaultOntology, defaultDir, *corpusPath, *ontPath))
+	named := map[string]bool{}
+	for _, e := range entries {
+		dir := ""
+		if *dataDir != "" {
+			dir = entryDataDir(*dataDir, e.name)
+		}
+		if _, err := reg.Add(e.name, openEntryStore(e.name, dir, e.corpusPath, e.ontPath)); err != nil {
+			fatal(logger, "register ontology "+e.name, err)
+		}
+		named[e.name] = true
+	}
+	// Entries created at runtime in a previous process left their state
+	// under <data-dir>/ontologies/<name>; revive any not named by flags.
+	if *dataDir != "" {
+		for _, name := range discoverEntries(logger, *dataDir) {
+			if named[name] || name == server.DefaultOntology {
+				continue
+			}
+			if _, err := reg.Add(name, openEntryStore(name, entryDataDir(*dataDir, name), "", "")); err != nil {
+				fatal(logger, "register recovered ontology "+name, err)
+			}
+		}
+		// Runtime-created ontologies get their own durable subdirectory,
+		// seeded before the entry is visible to requests.
+		opts.OpenEntryBackend = func(name string, seed *state.Snapshot) (state.Durable, error) {
+			b, err := storage.OpenDisk(diskOptsFor(entryDataDir(*dataDir, name)))
+			if err != nil {
+				return nil, err
+			}
+			if err := b.Checkpoint(seed); err != nil {
+				b.Close()
+				return nil, err
+			}
+			backendsMu.Lock()
+			backends[name] = b
+			backendsMu.Unlock()
+			return b, nil
+		}
+	}
+	def := reg.Default().Snapshot()
+	c, o := def.Corpus, def.Ontology
 
 	cfg := core.DefaultConfig()
 	cfg.Workers = *workers
 
-	app := server.NewWithOptions(c, o, cfg, opts)
+	app := server.NewWithRegistry(reg, cfg, opts)
 	srv := &http.Server{
 		Handler:           app.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -213,16 +349,50 @@ func main() {
 			fatal(logger, "serve", err)
 		}
 		app.Wait() // job workers exit after the signal context cancelled
-		if backend != nil {
-			// A clean shutdown checkpoint bounds the next boot's WAL
-			// replay to zero records. A crash skips this — that is what
-			// recovery is for.
-			if err := backend.Checkpoint(app.Snapshot()); err != nil {
-				logger.Warn("shutdown checkpoint failed; next boot will replay the WAL", "err", err)
+		// A clean shutdown checkpoint per durable entry bounds the next
+		// boot's WAL replay to zero records. A crash skips this — that
+		// is what recovery is for.
+		backendsMu.Lock()
+		for name, b := range backends {
+			entry, ok := app.Registry().Get(name)
+			if !ok {
+				continue
+			}
+			if err := b.Checkpoint(entry.Snapshot()); err != nil {
+				logger.Warn("shutdown checkpoint failed; next boot will replay the WAL",
+					"ontology", name, "err", err)
 			}
 		}
+		backendsMu.Unlock()
 		logger.Info("stopped cleanly")
 	}
+}
+
+// discoverEntries lists the named-ontology state directories under
+// dataDir/ontologies — entries created through POST /v1/ontologies by
+// a previous process, which have durable state but no seed flags.
+// Empty directories are skipped.
+func discoverEntries(logger *slog.Logger, dataDir string) []string {
+	root := filepath.Join(dataDir, "ontologies")
+	des, err := os.ReadDir(root)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			logger.Warn("scan ontology entries", "dir", root, "err", err)
+		}
+		return nil
+	}
+	var names []string
+	for _, de := range des {
+		if !de.IsDir() || !registry.ValidName(de.Name()) {
+			continue
+		}
+		if inner, err := os.ReadDir(filepath.Join(root, de.Name())); err != nil || len(inner) == 0 {
+			continue
+		}
+		names = append(names, de.Name())
+	}
+	sort.Strings(names)
+	return names
 }
 
 // loadSeed loads the cold-start corpus and ontology from the -corpus

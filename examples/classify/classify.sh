@@ -1,0 +1,62 @@
+#!/bin/sh
+# Classification & recommendation walkthrough: host two ontologies in
+# one server, classify a document offline and over HTTP, then let the
+# recommender pick which hosted ontology an input corpus belongs to
+# and route an enrichment job there.
+#
+# Prereqs: go toolchain and curl, run from the repo root.
+#
+#	sh examples/classify/classify.sh
+set -eu
+
+WORK="$(mktemp -d)"
+PID=""
+cleanup() {
+	[ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+	rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$WORK/serve" ./cmd/serve
+go build -o "$WORK/classify" ./cmd/classify
+# Two synthetic domains with disjoint vocabularies.
+go run ./cmd/gencorpus -out "$WORK/main" -seed 1
+go run ./cmd/gencorpus -out "$WORK/alt" -seed 42
+
+TEXT="$(sed -n 's/.*"text":"\([^"]*\)".*/\1/p' "$WORK/main/corpus.json" | head -n 1)"
+
+echo
+echo "== 1. offline batch: cmd/classify assigns a corpus document to concepts"
+"$WORK/classify" -corpus "$WORK/main/corpus.json" -ontology "$WORK/main/ontology.json" \
+	-text "$TEXT" -top 3
+
+echo
+echo "== 2. serve both ontologies: default entry + a named -ontology-entry"
+"$WORK/serve" -addr 127.0.0.1:8952 \
+	-corpus "$WORK/main/corpus.json" -ontology "$WORK/main/ontology.json" \
+	-ontology-entry "alt=$WORK/alt/corpus.json,$WORK/alt/ontology.json" \
+	2>"$WORK/serve.log" &
+PID=$!
+BASE=http://127.0.0.1:8952
+for _ in $(seq 1 100); do
+	curl -fsS "$BASE/v1/health" >/dev/null 2>&1 && break
+	sleep 0.1
+done
+curl -fsS "$BASE/v1/ontologies"; echo
+
+echo
+echo "== 3. HTTP classification (note the X-Epoch snapshot header)"
+curl -fsS -i -X POST "$BASE/v1/classify" -H 'Content-Type: application/json' \
+	-d "{\"text\":\"$TEXT\",\"top\":3}" | sed -n '/^X-Epoch/Ip; /^{/p'
+
+echo
+echo "== 4. recommend: which hosted ontology fits this text best?"
+curl -fsS -X POST "$BASE/v1/recommend" -H 'Content-Type: application/json' \
+	-d "{\"text\":\"$TEXT\"}"; echo
+
+echo
+echo "== 5. recommend + route: submit an enrichment job against the winner"
+curl -fsS -X POST "$BASE/v1/recommend" -H 'Content-Type: application/json' \
+	-d "{\"text\":\"$TEXT\",\"enrich\":true}"; echo
+sleep 1
+curl -fsS "$BASE/v1/jobs"; echo

@@ -1,0 +1,247 @@
+package classify
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"bioenrich/internal/corpus"
+	"bioenrich/internal/obs"
+	"bioenrich/internal/ontology"
+	"bioenrich/internal/state"
+	"bioenrich/internal/textutil"
+)
+
+// fixtureSnapshot builds the corneal-disease fixture the server tests
+// use: a three-level ontology over a small corpus where "corneal"
+// documents should classify under D2/D3, not D1.
+func fixtureSnapshot(t *testing.T) *state.Snapshot {
+	t.Helper()
+	o := ontology.New("test-mesh")
+	mustConcept := func(id ontology.ConceptID, preferred string) {
+		t.Helper()
+		if _, err := o.AddConcept(id, preferred); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustConcept("D1", "eye diseases")
+	mustConcept("D2", "corneal diseases")
+	mustConcept("D3", "corneal injury")
+	if err := o.AddSynonym("D3", "corneal damage"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SetParent("D2", "D1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SetParent("D3", "D2"); err != nil {
+		t.Fatal(err)
+	}
+	c := corpus.New(textutil.English)
+	docs := []corpus.Document{
+		{ID: "1", Text: "The corneal injury healed after treatment with topical antibiotics."},
+		{ID: "2", Text: "Severe corneal damage may require transplantation of donor tissue."},
+		{ID: "3", Text: "Corneal diseases include keratitis and corneal dystrophy conditions."},
+		{ID: "4", Text: "Eye diseases such as glaucoma affect vision in elderly patients."},
+	}
+	for _, d := range docs {
+		c.Add(d)
+	}
+	c.Build()
+	return state.NewStore(c, o).Load()
+}
+
+func TestClassifyRanksMatchingConcept(t *testing.T) {
+	snap := fixtureSnapshot(t)
+	cl := New(Options{})
+	res, err := cl.Classify(context.TODO(), "default", snap,
+		"the corneal injury required topical antibiotics and healed", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != snap.Epoch {
+		t.Fatalf("Epoch = %d, want %d", res.Epoch, snap.Epoch)
+	}
+	if res.Lang != "en" {
+		t.Fatalf("Lang = %q, want en", res.Lang)
+	}
+	if res.DocTokens == 0 {
+		t.Fatal("DocTokens = 0")
+	}
+	if len(res.Concepts) == 0 {
+		t.Fatal("no concepts assigned")
+	}
+	if res.Concepts[0].ID != "D3" {
+		t.Fatalf("top concept = %s (%q), want D3; full ranking: %+v",
+			res.Concepts[0].ID, res.Concepts[0].Preferred, res.Concepts)
+	}
+	for i := 1; i < len(res.Concepts); i++ {
+		prev, cur := res.Concepts[i-1], res.Concepts[i]
+		if cur.Score > prev.Score || (cur.Score == prev.Score && cur.ID < prev.ID) {
+			t.Fatalf("ranking out of order at %d: %+v", i, res.Concepts)
+		}
+	}
+}
+
+func TestClassifyTopN(t *testing.T) {
+	snap := fixtureSnapshot(t)
+	cl := New(Options{})
+	// Context words from two different concepts' corpus neighborhoods,
+	// so more than one concept scores > 0 and topN actually trims.
+	res, err := cl.Classify(context.TODO(), "default", snap,
+		"severe damage required transplantation of donor tissue after keratitis and dystrophy", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Concepts) != 1 {
+		t.Fatalf("topN=1 returned %d concepts", len(res.Concepts))
+	}
+}
+
+func TestClassifyEmptyDocument(t *testing.T) {
+	snap := fixtureSnapshot(t)
+	cl := New(Options{})
+	for _, text := range []string{"", "the of and"} {
+		if _, err := cl.Classify(context.TODO(), "default", snap, text, 0); err == nil {
+			t.Fatalf("Classify(%q) succeeded, want no-content-words error", text)
+		}
+	}
+}
+
+// TestClassifyDeterministicAcrossWorkers pins the byte-for-byte
+// contract: the JSON encoding of a classification is identical at
+// workers=1 and workers=8.
+func TestClassifyDeterministicAcrossWorkers(t *testing.T) {
+	snap := fixtureSnapshot(t)
+	text := "corneal damage and corneal diseases in elderly patients with keratitis"
+	var want []byte
+	for _, workers := range []int{1, 2, 8} {
+		cl := New(Options{Workers: workers})
+		res, err := cl.Classify(context.TODO(), "default", snap, text, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d output differs:\n  got  %s\n  want %s", workers, got, want)
+		}
+	}
+}
+
+func TestClassifyConceptsNeverNil(t *testing.T) {
+	// An ontology whose concepts never occur in the corpus scores 0
+	// everywhere — the result must encode concepts as [], not null.
+	o := ontology.New("empty")
+	if _, err := o.AddConcept("X1", "xenon toxicity"); err != nil {
+		t.Fatal(err)
+	}
+	c := corpus.New(textutil.English)
+	c.Add(corpus.Document{ID: "1", Text: "completely unrelated prose about gardening tools."})
+	c.Build()
+	snap := state.NewStore(c, o).Load()
+	cl := New(Options{})
+	res, err := cl.Classify(context.TODO(), "default", snap, "gardening tools prose", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Concepts == nil {
+		t.Fatal("Concepts is nil")
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"concepts":[]`) {
+		t.Fatalf("JSON = %s, want \"concepts\":[]", b)
+	}
+}
+
+func TestClassifyCacheHitMissAndEpochInvalidation(t *testing.T) {
+	reg := obs.New()
+	cl := New(Options{Obs: reg})
+	snap := fixtureSnapshot(t)
+
+	counter := func(name string) float64 {
+		t.Helper()
+		return reg.Counter(name).Value()
+	}
+
+	if _, err := cl.Classify(context.TODO(), "default", snap, "corneal injury", 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := counter(CacheMissesMetric); got != 1 {
+		t.Fatalf("misses after first classify = %v, want 1", got)
+	}
+	if _, err := cl.Classify(context.TODO(), "default", snap, "corneal damage", 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := counter(CacheHitsMetric); got != 1 {
+		t.Fatalf("hits after second classify = %v, want 1", got)
+	}
+
+	// A different key builds its own index.
+	if _, err := cl.Classify(context.TODO(), "other", snap, "corneal injury", 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := counter(CacheMissesMetric); got != 2 {
+		t.Fatalf("misses after second key = %v, want 2", got)
+	}
+
+	// Publishing a new epoch invalidates the cached index for that key.
+	store := state.NewStoreAt(snap.Corpus, snap.Ontology, snap.Epoch)
+	if _, err := store.Update(func(cur *state.Snapshot) (*corpus.Corpus, *ontology.Ontology, error) {
+		next := cur.Corpus.Clone()
+		next.Add(corpus.Document{ID: "5", Text: "corneal scarring after injury."})
+		next.Build()
+		return next, cur.Ontology, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	next := store.Load()
+	if next.Epoch == snap.Epoch {
+		t.Fatal("epoch did not advance")
+	}
+	if _, err := cl.Classify(context.TODO(), "default", next, "corneal injury", 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := counter(CacheMissesMetric); got != 3 {
+		t.Fatalf("misses after epoch bump = %v, want 3", got)
+	}
+}
+
+func TestClassifyCancelled(t *testing.T) {
+	snap := fixtureSnapshot(t)
+	cl := New(Options{})
+	ctx, cancel := context.WithCancel(context.TODO())
+	cancel()
+	if _, err := cl.Classify(ctx, "default", snap, "corneal injury", 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestClassifyConcurrent(t *testing.T) {
+	snap := fixtureSnapshot(t)
+	cl := New(Options{Workers: 4})
+	done := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		go func(i int) {
+			_, err := cl.Classify(context.TODO(), fmt.Sprintf("k%d", i%3), snap, "corneal injury and damage", 0)
+			done <- err
+		}(i)
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -13,16 +13,19 @@ import (
 // of (corpus, ontology, Config.Seed): no ambient randomness, no wall
 // clock, no environment, no map-order-dependent output.
 var pipelinePackages = map[string]bool{
-	"termex":   true,
-	"polysemy": true,
-	"senseind": true,
-	"linkage":  true,
-	"core":     true,
-	"synth":    true,
-	"cluster":  true,
-	"ml":       true,
-	"sparse":   true,
-	"graph":    true,
+	"termex":    true,
+	"polysemy":  true,
+	"senseind":  true,
+	"linkage":   true,
+	"core":      true,
+	"synth":     true,
+	"cluster":   true,
+	"ml":        true,
+	"sparse":    true,
+	"graph":     true,
+	"classify":  true,
+	"recommend": true,
+	"registry":  true,
 }
 
 // isPipelinePackage reports whether path is one of the determinism-

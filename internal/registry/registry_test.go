@@ -1,0 +1,133 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"bioenrich/internal/corpus"
+	"bioenrich/internal/ontology"
+	"bioenrich/internal/state"
+	"bioenrich/internal/textutil"
+)
+
+func testStore(t *testing.T, name string) *state.Store {
+	t.Helper()
+	o := ontology.New(name)
+	if _, err := o.AddConcept("D1", "eye diseases"); err != nil {
+		t.Fatal(err)
+	}
+	c := corpus.New(textutil.English)
+	c.Add(corpus.Document{ID: "1", Text: "eye diseases affect the cornea."})
+	c.Build()
+	return state.NewStore(c, o)
+}
+
+func TestDefaultEntry(t *testing.T) {
+	r := MustNew("default", testStore(t, "mesh"))
+	if r.DefaultName() != "default" {
+		t.Fatalf("DefaultName = %q", r.DefaultName())
+	}
+	if e := r.Default(); e == nil || e.Name != "default" {
+		t.Fatalf("Default() = %+v", e)
+	}
+	// The empty name resolves to the default entry.
+	if e, ok := r.Get(""); !ok || e.Name != "default" {
+		t.Fatalf("Get(\"\") = %+v, %v", e, ok)
+	}
+	if e := r.Default(); e.Snapshot().Epoch != 1 {
+		t.Fatalf("default snapshot epoch = %d, want 1", e.Snapshot().Epoch)
+	}
+}
+
+func TestAddGetNames(t *testing.T) {
+	r := MustNew("default", testStore(t, "mesh"))
+	if _, err := r.Add("umls-fr", testStore(t, "umls-fr")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Add("agrovoc", testStore(t, "agrovoc")); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := r.Names(), []string{"agrovoc", "default", "umls-fr"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len() = %d", r.Len())
+	}
+	es := r.Entries()
+	for i := 1; i < len(es); i++ {
+		if es[i-1].Name >= es[i].Name {
+			t.Fatalf("Entries() unsorted: %q >= %q", es[i-1].Name, es[i].Name)
+		}
+	}
+	if _, ok := r.Get("umls-fr"); !ok {
+		t.Fatal("Get(umls-fr) missing")
+	}
+	if _, ok := r.Get("nope"); ok {
+		t.Fatal("Get(nope) unexpectedly present")
+	}
+	if _, err := r.Resolve("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Resolve(nope) err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestAddDuplicateAndInvalid(t *testing.T) {
+	r := MustNew("default", testStore(t, "mesh"))
+	if _, err := r.Add("default", testStore(t, "other")); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate Add err = %v, want ErrExists", err)
+	}
+	for _, bad := range []string{"", "has space", "slash/y", "ünicode", string(make([]byte, 65))} {
+		if _, err := r.Add(bad, testStore(t, "x")); err == nil {
+			t.Fatalf("Add(%q) unexpectedly succeeded", bad)
+		}
+	}
+	if _, err := r.Add("valid", nil); err == nil {
+		t.Fatal("Add with nil store unexpectedly succeeded")
+	}
+}
+
+func TestValidName(t *testing.T) {
+	for _, ok := range []string{"default", "umls-fr", "a", "MeSH_2026.v1"} {
+		if !ValidName(ok) {
+			t.Errorf("ValidName(%q) = false", ok)
+		}
+	}
+	for _, bad := range []string{"", "a b", "a/b", "é", string(make([]byte, 65))} {
+		if ValidName(bad) {
+			t.Errorf("ValidName(%q) = true", bad)
+		}
+	}
+}
+
+// TestConcurrentAddAndGet exercises the copy-on-write swap under the
+// race detector: concurrent registrations and lock-free lookups must
+// never observe a torn map.
+func TestConcurrentAddAndGet(t *testing.T) {
+	r := MustNew("default", testStore(t, "mesh"))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := r.Add(fmt.Sprintf("onto-%d", i), testStore(t, "x")); err != nil {
+				t.Error(err)
+			}
+		}(i)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if e, ok := r.Get("default"); !ok || e.Snapshot() == nil {
+					t.Error("default entry unreadable during concurrent Add")
+					return
+				}
+				r.Names()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 9 {
+		t.Fatalf("Len() = %d, want 9", r.Len())
+	}
+}

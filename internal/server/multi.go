@@ -1,0 +1,402 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"bioenrich/internal/classify"
+	"bioenrich/internal/corpus"
+	"bioenrich/internal/jobs"
+	"bioenrich/internal/ontology"
+	"bioenrich/internal/recommend"
+	"bioenrich/internal/registry"
+	"bioenrich/internal/state"
+	"bioenrich/internal/textutil"
+
+	"bioenrich/internal/obs"
+)
+
+// epochHeader carries the serving snapshot version on read responses.
+// A client doing read-decide-apply copies it into the "epoch" field of
+// a later mutation, which the server CAS-checks — a publish in between
+// turns the apply into 409 instead of a lost update.
+const epochHeader = "X-Epoch"
+
+// setEpochHeader stamps the serving epoch; must run before the body is
+// written.
+func setEpochHeader(w http.ResponseWriter, epoch uint64) {
+	w.Header().Set(epochHeader, strconv.FormatUint(epoch, 10))
+}
+
+// resolveEntry maps a registry lookup failure to 404. An empty name
+// resolves to the default entry.
+func (s *Server) resolveEntry(w http.ResponseWriter, name string) (*registry.Entry, bool) {
+	entry, err := s.reg.Resolve(name)
+	if err != nil {
+		errorJSON(w, http.StatusNotFound, err)
+		return nil, false
+	}
+	return entry, true
+}
+
+// classifyRequest is the POST /v1/classify body. Ontology selects the
+// registry entry ("" = default; the /v1/ontologies/{name}/classify
+// form takes it from the path instead). Epoch, when > 0, pins the
+// classification to a snapshot version, rejected with 409 if the entry
+// has moved on.
+type classifyRequest struct {
+	Text     string `json:"text"`
+	Ontology string `json:"ontology"`
+	Top      int    `json:"top"`
+	Epoch    uint64 `json:"epoch"`
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeClassifyRequest(w, r)
+	if !ok {
+		return
+	}
+	s.classifyEntry(w, r, req.Ontology, req)
+}
+
+// handleClassifyNamed is the resource form: the entry comes from the
+// path, any "ontology" field in the body is ignored.
+func (s *Server) handleClassifyNamed(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeClassifyRequest(w, r)
+	if !ok {
+		return
+	}
+	s.classifyEntry(w, r, r.PathValue("name"), req)
+}
+
+func (s *Server) decodeClassifyRequest(w http.ResponseWriter, r *http.Request) (classifyRequest, bool) {
+	s.limitBody(w, r)
+	var req classifyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		errorJSON(w, decodeStatus(err), fmt.Errorf("decode request: %w", err))
+		return req, false
+	}
+	if req.Text == "" {
+		errorJSON(w, http.StatusBadRequest, fmt.Errorf("text is required"))
+		return req, false
+	}
+	if req.Top < 0 {
+		errorJSON(w, http.StatusBadRequest, fmt.Errorf("top: must be non-negative, got %d", req.Top))
+		return req, false
+	}
+	if req.Top == 0 {
+		req.Top = 10
+	}
+	return req, true
+}
+
+// classifyEntry runs one classification against the named entry's
+// current snapshot: resolve (atomic map load), snapshot (atomic
+// pointer load), classify against the per-epoch cached concept
+// profiles — no lock anywhere on the path.
+func (s *Server) classifyEntry(w http.ResponseWriter, r *http.Request, name string, req classifyRequest) {
+	entry, ok := s.resolveEntry(w, name)
+	if !ok {
+		return
+	}
+	snap := entry.Snapshot()
+	if req.Epoch != 0 && req.Epoch != snap.Epoch {
+		errorJSON(w, http.StatusConflict,
+			fmt.Errorf("requested epoch %d is stale: ontology %q at epoch %d", req.Epoch, entry.Name, snap.Epoch))
+		return
+	}
+	start := obs.Now()
+	res, err := s.classifier.Classify(r.Context(), entry.Name, snap, req.Text, req.Top)
+	if err != nil {
+		if r.Context().Err() != nil {
+			errorJSON(w, runStatus(err), err)
+			return
+		}
+		errorJSON(w, http.StatusBadRequest, err)
+		return
+	}
+	s.opts.Obs.Counter(classify.RequestsMetric, "ontology", entry.Name).Inc()
+	s.opts.Obs.Histogram(classify.SecondsMetric, nil, "ontology", entry.Name).Observe(obs.Since(start).Seconds())
+	setEpochHeader(w, res.Epoch)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ontology":   entry.Name,
+		"epoch":      res.Epoch,
+		"lang":       res.Lang,
+		"doc_tokens": res.DocTokens,
+		"concepts":   res.Concepts,
+	})
+}
+
+// recommendRequest is the POST /v1/recommend body. With Enrich set the
+// response additionally submits an asynchronous enrichment job against
+// the top-ranked ontology (202 + Location), routing work where the
+// ranking says the vocabulary lives; Apply/Workers/EnrichTop shape
+// that run like the /v1/jobs/enrich body does.
+type recommendRequest struct {
+	Text      string `json:"text"`
+	Top       int    `json:"top"`
+	Enrich    bool   `json:"enrich"`
+	Apply     bool   `json:"apply"`
+	Workers   int    `json:"workers"`
+	EnrichTop int    `json:"enrich_top"`
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	s.limitBody(w, r)
+	var req recommendRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		errorJSON(w, decodeStatus(err), fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if req.Text == "" {
+		errorJSON(w, http.StatusBadRequest, fmt.Errorf("text is required"))
+		return
+	}
+	if req.Top < 0 || req.Workers < 0 || req.EnrichTop < 0 {
+		errorJSON(w, http.StatusBadRequest, fmt.Errorf("top, workers and enrich_top must be non-negative"))
+		return
+	}
+	entries := s.reg.Entries()
+	inputs := make([]recommend.Input, len(entries))
+	for i, e := range entries {
+		inputs[i] = recommend.Input{Name: e.Name, Snap: e.Snapshot()}
+	}
+	start := obs.Now()
+	scores, err := recommend.Rank(r.Context(), inputs, req.Text, recommend.Options{Workers: s.cfg.Workers})
+	if err != nil {
+		if r.Context().Err() != nil {
+			errorJSON(w, runStatus(err), err)
+			return
+		}
+		errorJSON(w, http.StatusBadRequest, err)
+		return
+	}
+	top := scores[0] // the registry always holds at least the default entry
+	s.opts.Obs.Counter(recommend.RequestsMetric, "ontology", top.Ontology).Inc()
+	s.opts.Obs.Histogram(recommend.SecondsMetric, nil).Observe(obs.Since(start).Seconds())
+	setEpochHeader(w, top.Epoch)
+	if req.Top > 0 && req.Top < len(scores) {
+		scores = scores[:req.Top]
+	}
+	if !req.Enrich {
+		writeJSON(w, http.StatusOK, map[string]any{"rankings": scores})
+		return
+	}
+
+	// Route the enrichment job to the winner. The job pins the snapshot
+	// the ranking saw: if that entry publishes before the job's apply
+	// commits, the job fails with the conflict code instead of
+	// clobbering the interleaved write.
+	entry, ok := s.reg.Get(top.Ontology)
+	if !ok {
+		errorJSON(w, http.StatusInternalServerError, fmt.Errorf("ranked ontology %q vanished", top.Ontology))
+		return
+	}
+	snap := entry.Snapshot()
+	ereq := enrichRequest{Top: req.EnrichTop, Apply: req.Apply, Workers: req.Workers}
+	if ereq.Top == 0 {
+		ereq.Top = 10
+	}
+	timeout := s.opts.EnrichTimeout
+	job, err := s.jobs.Submit("enrich", requestID(r.Context()), snap.Epoch, func(ctx context.Context) (any, error) {
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+			defer cancel()
+		}
+		resp, err := s.runEnrich(ctx, entry.Store, snap, ereq)
+		if err != nil {
+			return nil, err
+		}
+		resp["ontology"] = entry.Name
+		return resp, nil
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, jobs.ErrQueueFull):
+			errorJSON(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, jobs.ErrNotStarted):
+			errorJSON(w, http.StatusServiceUnavailable, err)
+		default:
+			errorJSON(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"rankings": scores,
+		"ontology": entry.Name,
+		"job":      jobView(job),
+	})
+}
+
+// ontologyView is one entry in the GET /v1/ontologies listing.
+type ontologyView struct {
+	Name     string `json:"name"`
+	Default  bool   `json:"default"`
+	Epoch    uint64 `json:"epoch"`
+	Lang     string `json:"lang"`
+	Docs     int    `json:"docs"`
+	Concepts int    `json:"concepts"`
+	Terms    int    `json:"terms"`
+}
+
+func entryView(e *registry.Entry, defaultName string) ontologyView {
+	snap := e.Snapshot()
+	return ontologyView{
+		Name:     e.Name,
+		Default:  e.Name == defaultName,
+		Epoch:    snap.Epoch,
+		Lang:     snap.Corpus.Lang().String(),
+		Docs:     snap.Corpus.NumDocs(),
+		Concepts: snap.Ontology.NumConcepts(),
+		Terms:    snap.Ontology.NumTerms(),
+	}
+}
+
+func (s *Server) handleOntologiesList(w http.ResponseWriter, _ *http.Request) {
+	entries := s.reg.Entries() // sorted by name
+	views := make([]ontologyView, 0, len(entries))
+	for _, e := range entries {
+		views = append(views, entryView(e, s.reg.DefaultName()))
+	}
+	setEpochHeader(w, s.snapshot().Epoch)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"default":    s.reg.DefaultName(),
+		"ontologies": views,
+	})
+}
+
+func (s *Server) handleOntologyGet(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.resolveEntry(w, r.PathValue("name"))
+	if !ok {
+		return
+	}
+	v := entryView(entry, s.reg.DefaultName())
+	setEpochHeader(w, v.Epoch)
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleOntologySearch(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.resolveEntry(w, r.PathValue("name"))
+	if !ok {
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		errorJSON(w, http.StatusBadRequest, fmt.Errorf("missing ?q=<query>"))
+		return
+	}
+	n, err := intParam(r, "n", 10)
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, err)
+		return
+	}
+	snap := entry.Snapshot()
+	hits := snap.Corpus.Search(q, n)
+	if hits == nil {
+		hits = []corpus.SearchHit{}
+	}
+	setEpochHeader(w, snap.Epoch)
+	writeJSON(w, http.StatusOK, hits)
+}
+
+func (s *Server) handleOntologyDocuments(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.resolveEntry(w, r.PathValue("name"))
+	if !ok {
+		return
+	}
+	s.ingestDocuments(w, r, entry.Store)
+}
+
+// conceptSpec is one concept in a POST /v1/ontologies body.
+type conceptSpec struct {
+	ID        ontology.ConceptID   `json:"id"`
+	Preferred string               `json:"preferred"`
+	Synonyms  []string             `json:"synonyms"`
+	Parents   []ontology.ConceptID `json:"parents"`
+}
+
+// createOntologyRequest registers a new hosted ontology: a name, a
+// language, concepts (parents may reference concepts declared later —
+// linking is a second pass), and seed documents for its corpus.
+type createOntologyRequest struct {
+	Name      string            `json:"name"`
+	Lang      string            `json:"lang"`
+	Concepts  []conceptSpec     `json:"concepts"`
+	Documents []corpus.Document `json:"documents"`
+}
+
+func (s *Server) handleOntologyCreate(w http.ResponseWriter, r *http.Request) {
+	s.limitBody(w, r)
+	var req createOntologyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		errorJSON(w, decodeStatus(err), fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if !registry.ValidName(req.Name) {
+		errorJSON(w, http.StatusBadRequest,
+			fmt.Errorf("name %q: want 1-64 chars of [A-Za-z0-9._-]", req.Name))
+		return
+	}
+	if len(req.Concepts) == 0 {
+		errorJSON(w, http.StatusBadRequest, fmt.Errorf("at least one concept is required"))
+		return
+	}
+
+	o := ontology.New(req.Name)
+	for _, c := range req.Concepts {
+		if _, err := o.AddConcept(c.ID, c.Preferred); err != nil {
+			errorJSON(w, http.StatusBadRequest, fmt.Errorf("concept %q: %w", c.ID, err))
+			return
+		}
+		for _, syn := range c.Synonyms {
+			if err := o.AddSynonym(c.ID, syn); err != nil {
+				errorJSON(w, http.StatusBadRequest, fmt.Errorf("concept %q synonym %q: %w", c.ID, syn, err))
+				return
+			}
+		}
+	}
+	// Second pass: every parent exists now regardless of declaration
+	// order, and SetParent's cycle check sees the full concept set.
+	for _, c := range req.Concepts {
+		for _, p := range c.Parents {
+			if err := o.SetParent(c.ID, p); err != nil {
+				errorJSON(w, http.StatusBadRequest, fmt.Errorf("concept %q parent %q: %w", c.ID, p, err))
+				return
+			}
+		}
+	}
+	if err := o.Validate(); err != nil {
+		errorJSON(w, http.StatusBadRequest, err)
+		return
+	}
+
+	c := corpus.New(textutil.ParseLang(req.Lang))
+	c.AddAll(req.Documents)
+	c.Build()
+	st := state.NewStore(c, o)
+	if s.opts.OpenEntryBackend != nil {
+		d, err := s.opts.OpenEntryBackend(req.Name, st.Load())
+		if err != nil {
+			errorJSON(w, http.StatusInternalServerError, fmt.Errorf("open durability backend: %w", err))
+			return
+		}
+		st.SetDurable(d)
+	}
+	entry, err := s.reg.Add(req.Name, st)
+	if err != nil {
+		if errors.Is(err, registry.ErrExists) {
+			errorJSON(w, http.StatusConflict, err)
+			return
+		}
+		errorJSON(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/ontologies/"+entry.Name)
+	writeJSON(w, http.StatusCreated, entryView(entry, s.reg.DefaultName()))
+}

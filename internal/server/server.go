@@ -32,8 +32,22 @@
 //	DELETE /v1/jobs/{id}                     cancel a job
 //	GET    /v1/relations?top=20              typed relations between ontology terms
 //	POST   /v1/disambiguate                  {"term":..., "context":[...]} -> sense
+//	POST   /v1/classify                      assign a document to concepts (cosine)
+//	POST   /v1/recommend                     rank hosted ontologies for an input text
+//	GET    /v1/ontologies                    list hosted ontologies
+//	POST   /v1/ontologies                    register a new ontology (name+concepts+docs)
+//	GET    /v1/ontologies/{name}             one entry's stats
+//	GET    /v1/ontologies/{name}/search      BM25 search against that entry
+//	POST   /v1/ontologies/{name}/documents   ingest documents into that entry
+//	POST   /v1/ontologies/{name}/classify    classify against that entry
 //	GET    /v1/metrics                       Prometheus exposition (with Options.Obs)
 //	       /debug/pprof/*                    net/http/pprof (with Options.Pprof)
+//
+// The single-ontology routes above the multi-ontology block serve the
+// registry's default entry; /v1/ontologies/{name}/... addresses any
+// hosted entry. Read endpoints return the serving snapshot version in
+// an X-Epoch response header so clients can pin epochs for
+// read-decide-apply flows.
 //
 // Every pre-/v1 unversioned path remains mounted as a thin alias that
 // serves the identical body plus a "Deprecation: true" header
@@ -61,6 +75,7 @@ import (
 	"strconv"
 	"time"
 
+	"bioenrich/internal/classify"
 	"bioenrich/internal/cluster"
 	"bioenrich/internal/core"
 	"bioenrich/internal/corpus"
@@ -68,11 +83,16 @@ import (
 	"bioenrich/internal/linkage"
 	"bioenrich/internal/obs"
 	"bioenrich/internal/ontology"
+	"bioenrich/internal/registry"
 	"bioenrich/internal/relext"
 	"bioenrich/internal/senseind"
 	"bioenrich/internal/state"
 	"bioenrich/internal/termex"
 )
+
+// DefaultOntology names the registry entry the single-ontology API
+// surface (every pre-registry route) serves.
+const DefaultOntology = "default"
 
 // DefaultMaxBodyBytes bounds POST request bodies unless
 // Options.MaxBodyBytes overrides it. 8 MiB comfortably fits large
@@ -124,6 +144,14 @@ type Options struct {
 	// epoch across the restart keep coherent conflict semantics. 0
 	// means a fresh store at epoch 1.
 	BootEpoch uint64
+	// OpenEntryBackend, when non-nil, provides a durability backend
+	// for ontologies created at runtime through POST /v1/ontologies:
+	// it is called with the new entry's name and seed snapshot before
+	// the entry is registered, and the returned Durable gates every
+	// publish of that entry (cmd/serve opens a per-ontology disk
+	// backend under -data-dir). nil keeps runtime-created entries
+	// in-memory.
+	OpenEntryBackend func(name string, seed *state.Snapshot) (state.Durable, error)
 }
 
 // Server wires a corpus and an ontology to HTTP handlers through a
@@ -132,10 +160,15 @@ type Options struct {
 // epoch-checked compare-and-swap. The server itself holds no locks —
 // biolint's handler-lock analyzer enforces that mechanically.
 type Server struct {
-	state *state.Store
-	cfg   core.Config
-	opts  Options
-	jobs  *jobs.Manager
+	// reg hosts every served ontology; state is the default entry's
+	// store, kept as a field because the single-ontology surface is the
+	// hot path.
+	reg        *registry.Registry
+	state      *state.Store
+	cfg        core.Config
+	opts       Options
+	jobs       *jobs.Manager
+	classifier *classify.Classifier
 }
 
 // New builds a server around a corpus and ontology with the paper's
@@ -161,8 +194,18 @@ func NewWithOptions(c *corpus.Corpus, o *ontology.Ontology, cfg core.Config, opt
 	if opts.Durability != nil {
 		st.SetDurable(opts.Durability)
 	}
+	return NewWithRegistry(registry.MustNew(DefaultOntology, st), cfg, opts)
+}
+
+// NewWithRegistry builds a server over a pre-populated multi-ontology
+// registry; the registry's default entry serves the single-ontology
+// surface. Options.Durability and Options.BootEpoch are ignored here —
+// each entry's store carries its own durability and boot epoch,
+// configured by whoever built the registry.
+func NewWithRegistry(reg *registry.Registry, cfg core.Config, opts Options) *Server {
 	return &Server{
-		state: st,
+		reg:   reg,
+		state: reg.Default().Store,
 		cfg:   cfg,
 		opts:  opts,
 		jobs: jobs.New(jobs.Options{
@@ -171,8 +214,17 @@ func NewWithOptions(c *corpus.Corpus, o *ontology.Ontology, cfg core.Config, opt
 			TTL:     opts.JobTTL,
 			Obs:     opts.Obs,
 		}),
+		classifier: classify.New(classify.Options{
+			Workers: cfg.Workers,
+			Obs:     opts.Obs,
+		}),
 	}
 }
+
+// Registry exposes the ontology registry to the embedding process —
+// cmd/serve registers extra entries at boot and checkpoints every
+// durable entry on clean shutdown.
+func (s *Server) Registry() *registry.Registry { return s.reg }
 
 // Start launches the async job workers under ctx; cancelling ctx
 // cancels running jobs and stops the workers. Job submissions before
@@ -218,6 +270,18 @@ func (s *Server) Handler() http.Handler {
 	route("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	route("GET /v1/relations", s.handleRelations)
 	route("POST /v1/disambiguate", s.handleDisambiguate)
+
+	// Multi-ontology surface: classification, recommendation, and the
+	// ontology collection. All reads resolve a registry entry with one
+	// atomic map load plus one snapshot load — still lock-free.
+	route("POST /v1/classify", s.handleClassify)
+	route("POST /v1/recommend", s.handleRecommend)
+	route("GET /v1/ontologies", s.handleOntologiesList)
+	route("POST /v1/ontologies", s.handleOntologyCreate)
+	route("GET /v1/ontologies/{name}", s.handleOntologyGet)
+	route("GET /v1/ontologies/{name}/search", s.handleOntologySearch)
+	route("POST /v1/ontologies/{name}/documents", s.handleOntologyDocuments)
+	route("POST /v1/ontologies/{name}/classify", s.handleClassifyNamed)
 
 	// Legacy unversioned aliases: identical handler, identical body,
 	// plus the Deprecation header. New endpoints (jobs) are /v1-only.
@@ -371,6 +435,7 @@ func (s *Server) handleOntologyStats(w http.ResponseWriter, _ *http.Request) {
 	snap := s.snapshot()
 	o := snap.Ontology
 	stats := o.PolysemyStats()
+	setEpochHeader(w, snap.Epoch)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"name":      o.Name,
 		"concepts":  o.NumConcepts(),
@@ -406,6 +471,7 @@ func (s *Server) handleOntologyTermQuery(w http.ResponseWriter, r *http.Request)
 func (s *Server) renderOntologyTerm(w http.ResponseWriter, term string) {
 	snap := s.snapshot()
 	o := snap.Ontology
+	setEpochHeader(w, snap.Epoch)
 	ids := o.ConceptsForTerm(term)
 	if len(ids) == 0 {
 		errorJSON(w, http.StatusNotFound, fmt.Errorf("term %q not in ontology", term))
@@ -445,10 +511,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		errorJSON(w, http.StatusBadRequest, err)
 		return
 	}
-	hits := s.snapshot().Corpus.Search(q, n)
+	snap := s.snapshot()
+	hits := snap.Corpus.Search(q, n)
 	if hits == nil {
 		hits = []corpus.SearchHit{}
 	}
+	setEpochHeader(w, snap.Epoch)
 	writeJSON(w, http.StatusOK, hits)
 }
 
@@ -529,6 +597,18 @@ func (s *Server) handleLink(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleAddDocuments(w http.ResponseWriter, r *http.Request) {
+	s.ingestDocuments(w, r, s.state)
+}
+
+// ingestDocuments appends a document batch to st — the shared body of
+// POST /v1/documents (default entry) and POST
+// /v1/ontologies/{name}/documents (any entry). Ingestion must always
+// land, so it goes through the serialized Update path (no epoch race
+// to lose): clone, grow, reindex, commit. The returned Delta carries
+// the appended documents so a durable backend can WAL-log (and fsync)
+// exactly this batch before the swap — crash recovery replays it
+// verbatim. Readers keep the previous snapshot until the swap.
+func (s *Server) ingestDocuments(w http.ResponseWriter, r *http.Request, st *state.Store) {
 	s.limitBody(w, r)
 	var docs []corpus.Document
 	if err := json.NewDecoder(r.Body).Decode(&docs); err != nil {
@@ -539,13 +619,7 @@ func (s *Server) handleAddDocuments(w http.ResponseWriter, r *http.Request) {
 		errorJSON(w, http.StatusBadRequest, fmt.Errorf("no documents"))
 		return
 	}
-	// Ingestion must always land, so it goes through the serialized
-	// Update path (no epoch race to lose): clone, grow, reindex,
-	// commit. The returned Delta carries the appended documents so a
-	// durable backend can WAL-log (and fsync) exactly this batch
-	// before the swap — crash recovery replays it verbatim. Readers
-	// keep the previous snapshot until the swap.
-	next, err := s.state.UpdateDelta(func(snap *state.Snapshot) (*corpus.Corpus, *ontology.Ontology, *state.Delta, error) {
+	next, err := st.UpdateDelta(func(snap *state.Snapshot) (*corpus.Corpus, *ontology.Ontology, *state.Delta, error) {
 		cc := snap.Corpus.Clone()
 		cc.AddAll(docs)
 		cc.Build()
@@ -679,12 +753,13 @@ func (s *Server) decodeEnrichRequest(w http.ResponseWriter, r *http.Request) (en
 }
 
 // runEnrich executes steps I–IV against snap and, with Apply set,
-// commits the enriched ontology through the epoch-checked CAS. The
-// pipeline holds no lock at any point: it reads the immutable
+// commits the enriched ontology to st through the epoch-checked CAS
+// (st is whichever registry entry's store the snapshot came from).
+// The pipeline holds no lock at any point: it reads the immutable
 // snapshot, applies onto a clone, and only the pointer swap inside
 // Commit is serialized. A commit built on a superseded snapshot
 // returns state.ErrStale with nothing mutated.
-func (s *Server) runEnrich(ctx context.Context, snap *state.Snapshot, req enrichRequest) (map[string]any, error) {
+func (s *Server) runEnrich(ctx context.Context, st *state.Store, snap *state.Snapshot, req enrichRequest) (map[string]any, error) {
 	cfg := s.cfg
 	cfg.TopCandidates = req.Top
 	if req.Workers > 0 {
@@ -717,7 +792,7 @@ func (s *Server) runEnrich(ctx context.Context, snap *state.Snapshot, req enrich
 	if err != nil {
 		return nil, err
 	}
-	next, err := s.state.Commit(snap, snap.Corpus, clone)
+	next, err := st.Commit(snap, snap.Corpus, clone)
 	if err != nil {
 		return nil, err
 	}
@@ -749,7 +824,7 @@ func (s *Server) handleEnrich(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, s.opts.EnrichTimeout)
 		defer cancel()
 	}
-	resp, err := s.runEnrich(ctx, snap, req)
+	resp, err := s.runEnrich(ctx, s.state, snap, req)
 	if err != nil {
 		errorJSON(w, runStatus(err), err)
 		return
@@ -834,7 +909,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			ctx, cancel = context.WithTimeout(ctx, timeout)
 			defer cancel()
 		}
-		return s.runEnrich(ctx, snap, req)
+		return s.runEnrich(ctx, s.state, snap, req)
 	})
 	if err != nil {
 		switch {

@@ -1,0 +1,91 @@
+package textutil
+
+import (
+	"reflect"
+	"testing"
+)
+
+// parityDocs is the same abstract (paper-style: keratitis affecting the
+// cornea) expressed in each supported language. Each language's content
+// stream must keep the domain words and drop that language's function
+// words — the contract the classify and recommend packages rely on when
+// hosting ontologies in different languages side by side.
+var parityDocs = map[Lang]string{
+	English: "The keratitis of the cornea is a severe inflammation.",
+	French:  "La kératite de la cornée est une inflammation sévère.",
+	Spanish: "La queratitis de la córnea es una inflamación severa.",
+}
+
+func TestContentWordsParityAcrossLanguages(t *testing.T) {
+	for lang, text := range parityDocs {
+		got := ContentWords(text, lang)
+		if len(got) != 4 {
+			t.Errorf("%s: content words = %v, want 4 domain words", lang, got)
+		}
+		for _, w := range got {
+			if IsStopword(w, lang) {
+				t.Errorf("%s: stopword %q survived ContentWords", lang, w)
+			}
+			if w != Normalize(w) {
+				t.Errorf("%s: %q not normalized (accents should fold)", lang, w)
+			}
+		}
+	}
+}
+
+// TestContentWordsStopwordsArePerLanguage pins that each language's
+// filter only removes its own function words: "la" is a stopword in
+// French and Spanish but a content token in English, and "the" only in
+// English.
+func TestContentWordsStopwordsArePerLanguage(t *testing.T) {
+	cases := []struct {
+		word string
+		stop map[Lang]bool
+	}{
+		{"the", map[Lang]bool{English: true, French: false, Spanish: false}},
+		{"la", map[Lang]bool{English: false, French: true, Spanish: true}},
+		{"est", map[Lang]bool{English: false, French: true, Spanish: false}},
+		{"es", map[Lang]bool{English: false, French: false, Spanish: true}},
+	}
+	for _, c := range cases {
+		for lang, want := range c.stop {
+			if got := IsStopword(c.word, lang); got != want {
+				t.Errorf("IsStopword(%q, %s) = %v, want %v", c.word, lang, got, want)
+			}
+		}
+	}
+}
+
+// TestAccentFoldingParity pins that the accented forms of the FR/ES
+// documents normalize to the same tokens as their hand-folded ASCII
+// spellings, so accented and unaccented corpora index identically.
+func TestAccentFoldingParity(t *testing.T) {
+	cases := []struct {
+		lang            Lang
+		accented, ascii string
+	}{
+		{French, "kératite de la cornée sévère", "keratite de la cornee severe"},
+		{Spanish, "queratitis de la córnea severa", "queratitis de la cornea severa"},
+	}
+	for _, c := range cases {
+		a := ContentWords(c.accented, c.lang)
+		b := ContentWords(c.ascii, c.lang)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: accented %v != ascii %v", c.lang, a, b)
+		}
+	}
+}
+
+// TestParseLangRoundTrip pins that every Lang's String() form parses
+// back to itself — the contract the HTTP layer and cmd/classify use to
+// echo a corpus's language in responses.
+func TestParseLangRoundTrip(t *testing.T) {
+	for _, lang := range []Lang{English, French, Spanish} {
+		if got := ParseLang(lang.String()); got != lang {
+			t.Errorf("ParseLang(%q) = %v, want %v", lang.String(), got, lang)
+		}
+	}
+	if got := ParseLang("klingon"); got != English {
+		t.Errorf("unknown language = %v, want English fallback", got)
+	}
+}
