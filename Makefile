@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race lint fuzz-smoke staticcheck bench bench-enricher restart-test
+.PHONY: verify build vet test race lint fuzz-smoke staticcheck bench bench-enricher bench-ingest restart-test
 
 build:
 	$(GO) build ./...
@@ -30,7 +30,7 @@ test:
 # mutex serializes WAL appends against checkpoints. CI
 # (.github/workflows/ci.yml) runs the same gate.
 race:
-	$(GO) test -race ./internal/core ./internal/server ./internal/linkage ./internal/obs ./internal/senseind ./internal/state ./internal/jobs ./internal/storage ./internal/registry ./internal/classify ./internal/recommend
+	$(GO) test -race ./internal/core ./internal/server ./internal/linkage ./internal/obs ./internal/senseind ./internal/state ./internal/jobs ./internal/storage ./internal/registry ./internal/classify ./internal/recommend ./internal/batch
 
 # biolint is the repo's own analyzer suite (internal/lint, stdlib-only):
 # it mechanically enforces the determinism, context-propagation, obs
@@ -74,3 +74,6 @@ bench:
 
 bench-enricher:
 	$(GO) test -run '^$$' -bench 'BenchmarkEnricherRun' -benchmem .
+
+bench-ingest:
+	$(GO) test -run '^$$' -bench 'BenchmarkIngestThroughput' -benchmem .

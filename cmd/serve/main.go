@@ -11,7 +11,8 @@
 //	      [-log-level info] [-max-body 8388608] \
 //	      [-job-queue 16] [-job-workers 1] [-job-ttl 15m] \
 //	      [-data-dir data/state] [-wal-sync=true] \
-//	      [-retain-segments 3] [-checkpoint-every 256]
+//	      [-retain-segments 3] [-checkpoint-every 256] \
+//	      [-ingest-batch-size 256] [-ingest-batch-wait 0]
 //
 // Multi-ontology hosting: -corpus/-ontology seed the default registry
 // entry (every single-ontology route serves it); each repeatable
@@ -47,6 +48,15 @@
 // and -checkpoint-every bounds boot-time replay by writing a full
 // segment after that many ingest batches. Without -data-dir everything
 // lives in RAM and dies with the process, as before.
+//
+// Ingestion is group-committed (internal/batch): concurrent POST
+// /v1/documents requests coalesce per ontology into one corpus
+// clone + incremental reindex + WAL record + fsync + epoch.
+// -ingest-batch-size caps how many documents one group may hold
+// before it commits; -ingest-batch-wait holds an open group that long
+// for more requests to join (0, the default, adds no latency — a
+// group is whatever arrived while the previous commit was in flight,
+// which already coalesces concurrent writers).
 //
 // Async jobs: POST /v1/jobs/enrich queues an enrichment run against
 // the snapshot current at submission. -job-queue bounds how many may
@@ -84,6 +94,7 @@ import (
 	"syscall"
 	"time"
 
+	"bioenrich/internal/batch"
 	"bioenrich/internal/core"
 	"bioenrich/internal/corpus"
 	"bioenrich/internal/obs"
@@ -162,6 +173,8 @@ func main() {
 	walSync := flag.Bool("wal-sync", true, "fsync the WAL on every ingest before acknowledging (false trades crash-safety for throughput)")
 	retainSegments := flag.Int("retain-segments", 0, "full snapshot segments to keep in -data-dir (0 = default 3, negative = all)")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "write a full segment every N ingest batches, bounding boot replay (0 = default 256, negative = never automatically)")
+	ingestBatchSize := flag.Int("ingest-batch-size", 0, "max documents per ingest group commit (0 = default 256)")
+	ingestBatchWait := flag.Duration("ingest-batch-wait", 0, "how long to hold an open ingest group for more requests (0 = commit as soon as the committer is free)")
 	var entries entryFlags
 	flag.Var(&entries, "ontology-entry", "additional hosted ontology as name=corpus.json,ontology.json (repeatable); served at /v1/ontologies/{name}")
 	flag.Parse()
@@ -180,13 +193,15 @@ func main() {
 	defer stop()
 
 	opts := server.Options{
-		Pprof:         *pprofFlag,
-		MaxBodyBytes:  *maxBody,
-		AccessLog:     logger,
-		EnrichTimeout: *enrichTimeout,
-		JobQueue:      *jobQueue,
-		JobWorkers:    *jobWorkers,
-		JobTTL:        *jobTTL,
+		Pprof:           *pprofFlag,
+		MaxBodyBytes:    *maxBody,
+		AccessLog:       logger,
+		EnrichTimeout:   *enrichTimeout,
+		JobQueue:        *jobQueue,
+		JobWorkers:      *jobWorkers,
+		JobTTL:          *jobTTL,
+		IngestBatchSize: *ingestBatchSize,
+		IngestBatchWait: *ingestBatchWait,
 	}
 	if *metrics {
 		opts.Obs = obs.New()
@@ -257,7 +272,9 @@ func main() {
 	if *dataDir != "" {
 		defaultDir = *dataDir // default entry stays at the root: old data dirs keep working
 	}
-	reg := registry.MustNew(server.DefaultOntology, openEntryStore(server.DefaultOntology, defaultDir, *corpusPath, *ontPath))
+	reg := registry.MustNewWithBatch(server.DefaultOntology,
+		openEntryStore(server.DefaultOntology, defaultDir, *corpusPath, *ontPath),
+		batch.Options{MaxDocs: *ingestBatchSize, MaxWait: *ingestBatchWait, Obs: opts.Obs})
 	named := map[string]bool{}
 	for _, e := range entries {
 		dir := ""
@@ -349,6 +366,10 @@ func main() {
 			fatal(logger, "serve", err)
 		}
 		app.Wait() // job workers exit after the signal context cancelled
+		// Flush the ingest batchers before checkpointing: queued groups
+		// land (or fail durably), and no group commit can race the
+		// backend Close below.
+		reg.Close()
 		// A clean shutdown checkpoint per durable entry bounds the next
 		// boot's WAL replay to zero records. A crash skips this — that
 		// is what recovery is for.

@@ -1,0 +1,323 @@
+package batch
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"bioenrich/internal/core"
+	"bioenrich/internal/corpus"
+	"bioenrich/internal/ontology"
+	"bioenrich/internal/state"
+	"bioenrich/internal/textutil"
+)
+
+func fixture(t *testing.T) (*corpus.Corpus, *ontology.Ontology) {
+	t.Helper()
+	c := corpus.New(textutil.English)
+	c.AddAll([]corpus.Document{
+		{ID: "1", Text: "Corneal abrasion with epithelium scarring."},
+		{ID: "2", Text: "Membrane grafts after corneal injury."},
+	})
+	c.Build()
+	o := ontology.New("test")
+	if _, err := o.AddConcept("C1", "corneal abrasion"); err != nil {
+		t.Fatal(err)
+	}
+	return c, o
+}
+
+// TestSingleIngestCommits: one caller, one group, one epoch; the
+// returned snapshot holds the documents.
+func TestSingleIngestCommits(t *testing.T) {
+	c, o := fixture(t)
+	st := state.NewStore(c, o)
+	b := New(st, Options{})
+	defer b.Close()
+
+	base := st.Load()
+	snap, err := b.Ingest(context.Background(), []corpus.Document{
+		{ID: "n1", Text: "retinal detachment"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Epoch != base.Epoch+1 {
+		t.Errorf("epoch = %d, want %d", snap.Epoch, base.Epoch+1)
+	}
+	if snap.Corpus.NumDocs() != base.Corpus.NumDocs()+1 {
+		t.Errorf("docs = %d, want %d", snap.Corpus.NumDocs(), base.Corpus.NumDocs()+1)
+	}
+	if snap.Corpus.TF("retinal") != 1 {
+		t.Errorf("TF(retinal) = %d, want 1 (ingested doc not indexed)", snap.Corpus.TF("retinal"))
+	}
+	if base.Corpus.NumDocs() != 2 {
+		t.Error("base snapshot mutated by ingest")
+	}
+}
+
+// TestConcurrentIngestOneGroup: with a large window and a size trigger
+// equal to the writer count, N concurrent single-doc writers land as
+// exactly one group — one epoch for all of them — and every caller's
+// snapshot contains its own document.
+func TestConcurrentIngestOneGroup(t *testing.T) {
+	c, o := fixture(t)
+	st := state.NewStore(c, o)
+	const n = 32
+	b := New(st, Options{MaxDocs: n, MaxWait: 5 * time.Second})
+	defer b.Close()
+
+	base := st.Load()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	snaps := make([]*state.Snapshot, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			snaps[i], errs[i] = b.Ingest(context.Background(), []corpus.Document{
+				{ID: fmt.Sprintf("d%d", i), Text: fmt.Sprintf("uniquetoken%d lesion", i)},
+			})
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("writer %d: %v", i, errs[i])
+		}
+		if snaps[i].Epoch < base.Epoch+1 {
+			t.Errorf("writer %d: epoch %d < commit epoch", i, snaps[i].Epoch)
+		}
+		if tf := snaps[i].Corpus.TF(fmt.Sprintf("uniquetoken%d", i)); tf != 1 {
+			t.Errorf("writer %d: TF(own token) = %d, want 1", i, tf)
+		}
+	}
+	final := st.Load()
+	if final.Corpus.NumDocs() != base.Corpus.NumDocs()+n {
+		t.Errorf("final docs = %d, want %d", final.Corpus.NumDocs(), base.Corpus.NumDocs()+n)
+	}
+	if final.Epoch != base.Epoch+1 {
+		t.Errorf("final epoch = %d, want %d (one group commit)", final.Epoch, base.Epoch+1)
+	}
+}
+
+// TestConcurrentIngestAllLand: without any tuning (zero options), N
+// racing writers all land, the store gains exactly N documents, and
+// grouping keeps the epoch count at or below the writer count.
+func TestConcurrentIngestAllLand(t *testing.T) {
+	c, o := fixture(t)
+	st := state.NewStore(c, o)
+	b := New(st, Options{})
+	defer b.Close()
+
+	base := st.Load()
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := b.Ingest(context.Background(), []corpus.Document{
+				{ID: fmt.Sprintf("r%d", i), Text: "vitreous hemorrhage"},
+			}); err != nil {
+				t.Errorf("writer %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	final := st.Load()
+	if got := final.Corpus.NumDocs() - base.Corpus.NumDocs(); got != n {
+		t.Errorf("ingested %d docs, want %d", got, n)
+	}
+	if commits := final.Epoch - base.Epoch; commits > n {
+		t.Errorf("epochs advanced %d times for %d writers", commits, n)
+	}
+}
+
+// failingDurable rejects every publish — the disk-full scenario.
+type failingDurable struct{ err error }
+
+func (f *failingDurable) BeforePublish(*state.Snapshot, *state.Delta) error { return f.err }
+
+// TestGroupFailureFansOutToEveryCaller: when the durability hook
+// rejects the group, nothing publishes and every caller in the group
+// sees the failure, wrapped in state.ErrUnavailable.
+func TestGroupFailureFansOutToEveryCaller(t *testing.T) {
+	c, o := fixture(t)
+	st := state.NewStore(c, o)
+	st.SetDurable(&failingDurable{err: errors.New("disk full")})
+	const n = 8
+	b := New(st, Options{MaxDocs: n, MaxWait: 5 * time.Second})
+	defer b.Close()
+
+	base := st.Load()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = b.Ingest(context.Background(), []corpus.Document{
+				{ID: fmt.Sprintf("f%d", i), Text: "doomed"},
+			})
+		}(i)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("writer %d: nil error from a failed group", i)
+		}
+		if !errors.Is(err, state.ErrUnavailable) {
+			t.Errorf("writer %d: error %v does not wrap state.ErrUnavailable", i, err)
+		}
+	}
+	final := st.Load()
+	if final.Epoch != base.Epoch || final.Corpus.NumDocs() != base.Corpus.NumDocs() {
+		t.Errorf("failed group published: epoch %d→%d docs %d→%d",
+			base.Epoch, final.Epoch, base.Corpus.NumDocs(), final.Corpus.NumDocs())
+	}
+}
+
+// TestCloseFlushesPendingAndRejectsNew: Close lets queued work land
+// (flushed as a final group) and fails later Ingests with ErrClosed.
+func TestCloseFlushesPendingAndRejectsNew(t *testing.T) {
+	c, o := fixture(t)
+	st := state.NewStore(c, o)
+	// A long window would hold the group open for minutes; Close must
+	// cut it short and flush.
+	b := New(st, Options{MaxDocs: 1000, MaxWait: time.Minute})
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Ingest(context.Background(), []corpus.Document{{ID: "p1", Text: "pending doc"}})
+		done <- err
+	}()
+	// Wait for the request to be enqueued before closing.
+	for {
+		b.mu.Lock()
+		queued := len(b.pending) > 0
+		b.mu.Unlock()
+		if queued {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("queued ingest failed on close: %v", err)
+	}
+	if st.Load().Corpus.TF("pending") != 1 {
+		t.Error("queued document did not land on close")
+	}
+	if _, err := b.Ingest(context.Background(), []corpus.Document{{ID: "p2", Text: "late"}}); !errors.Is(err, ErrClosed) {
+		t.Errorf("ingest after close = %v, want ErrClosed", err)
+	}
+	b.Close() // idempotent
+}
+
+// TestIngestContextCancelStopsWaiting: a caller whose context dies
+// mid-window stops waiting immediately; the group still commits.
+func TestIngestContextCancelStopsWaiting(t *testing.T) {
+	c, o := fixture(t)
+	st := state.NewStore(c, o)
+	b := New(st, Options{MaxDocs: 1000, MaxWait: 200 * time.Millisecond})
+	defer b.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Ingest(ctx, []corpus.Document{{ID: "c1", Text: "abandoned caller"}})
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled caller still waiting")
+	}
+	// The group commits regardless once its window closes.
+	deadline := time.Now().Add(5 * time.Second)
+	for st.Load().Corpus.TF("abandoned") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned caller's documents never landed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestEmptyBatchRejected: a zero-document Ingest is a caller bug and
+// never reaches the store.
+func TestEmptyBatchRejected(t *testing.T) {
+	c, o := fixture(t)
+	st := state.NewStore(c, o)
+	b := New(st, Options{})
+	defer b.Close()
+	if _, err := b.Ingest(context.Background(), nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if st.Load().Epoch != 1 {
+		t.Error("empty batch advanced the epoch")
+	}
+}
+
+// TestBatchedEnrichmentReportIdentical: a corpus grown through the
+// batcher yields a byte-for-byte identical enrichment report to one
+// grown through the unbatched clone-and-rebuild path — batching is
+// invisible to the pipeline.
+func TestBatchedEnrichmentReportIdentical(t *testing.T) {
+	docs := []corpus.Document{
+		{ID: "n1", Text: "Corneal abrasion of the epithelium after lesion."},
+		{ID: "n2", Text: "Retinal detachment with vitreous hemorrhage."},
+		{ID: "n3", Text: "Corneal lesion grafts and membrane scarring."},
+	}
+
+	// Unbatched: the old write path, one full rebuild.
+	c1, o1 := fixture(t)
+	st1 := state.NewStore(c1, o1)
+	if _, err := st1.UpdateDelta(func(cur *state.Snapshot) (*corpus.Corpus, *ontology.Ontology, *state.Delta, error) {
+		cc := cur.Corpus.Clone()
+		cc.AddAll(docs)
+		cc.Build()
+		return cc, cur.Ontology, &state.Delta{Docs: docs}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Batched: same documents through the group committer.
+	c2, o2 := fixture(t)
+	st2 := state.NewStore(c2, o2)
+	b := New(st2, Options{})
+	defer b.Close()
+	if _, err := b.Ingest(context.Background(), docs); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.TopCandidates = 5
+	report := func(st *state.Store) []byte {
+		snap := st.Load()
+		rep, err := core.NewEnricher(snap.Corpus, snap.Ontology, cfg).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	r1, r2 := report(st1), report(st2)
+	if string(r1) != string(r2) {
+		t.Errorf("reports diverge:\nunbatched: %s\nbatched:   %s", r1, r2)
+	}
+}

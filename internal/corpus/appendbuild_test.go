@@ -1,0 +1,153 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bioenrich/internal/textutil"
+)
+
+// equalIndexed fails the test unless a and b hold byte-identical index
+// state: documents, token streams, postings, document frequencies and
+// totals. This is the invariant AppendBuild promises relative to a
+// from-scratch Build.
+func equalIndexed(t *testing.T, a, b *Corpus) {
+	t.Helper()
+	if !reflect.DeepEqual(a.docs, b.docs) {
+		t.Fatalf("docs differ: %d vs %d", len(a.docs), len(b.docs))
+	}
+	if !reflect.DeepEqual(a.tokens, b.tokens) {
+		t.Fatal("token streams differ")
+	}
+	if !reflect.DeepEqual(a.index, b.index) {
+		t.Fatal("postings differ")
+	}
+	if !reflect.DeepEqual(a.df, b.df) {
+		t.Fatal("document frequencies differ")
+	}
+	if a.total != b.total {
+		t.Fatalf("total tokens: %d vs %d", a.total, b.total)
+	}
+	if a.built != b.built {
+		t.Fatalf("built flags: %v vs %v", a.built, b.built)
+	}
+}
+
+// TestAppendBuildMatchesFullBuild: growing a built corpus batch by
+// batch through AppendBuild lands on exactly the state a single
+// from-scratch Build over all documents produces.
+func TestAppendBuildMatchesFullBuild(t *testing.T) {
+	seed := []Document{
+		{ID: "1", Title: "Corneal abrasion", Text: "Corneal abrasion with epithelium scarring."},
+		{ID: "2", Text: "Membrane grafts after corneal injury."},
+	}
+	batches := [][]Document{
+		{{ID: "3", Text: "Retinal detachment with vitreous hemorrhage."}},
+		{
+			{ID: "4", Title: "Glaucoma", Text: "Intraocular pressure and optic nerve damage."},
+			{ID: "5", Text: "Corneal abrasion recurrence; epithelium heals."},
+		},
+		{{ID: "6", Text: ""}}, // title-only and short docs still index
+	}
+
+	inc := New(textutil.English)
+	inc.AddAll(seed)
+	inc.Build()
+	all := append([]Document(nil), seed...)
+	for _, b := range batches {
+		inc.AppendBuild(b)
+		all = append(all, b...)
+
+		full := New(textutil.English)
+		full.AddAll(all)
+		full.Build()
+		equalIndexed(t, inc, full)
+	}
+
+	// The incremental corpus answers queries like the full one.
+	if inc.TF("corneal") != 4 || inc.DF("corneal") != 3 {
+		t.Errorf("TF/DF(corneal) = %d/%d, want 4/3", inc.TF("corneal"), inc.DF("corneal"))
+	}
+	if got := inc.Occurrences("corneal abrasion"); len(got) != 3 {
+		t.Errorf("multi-word occurrences = %d, want 3", len(got))
+	}
+}
+
+// TestAppendBuildRandomized: the equivalence holds across randomized
+// batch shapes (sizes, shared vocabulary, empty-ish documents) —
+// seeded, so failures reproduce.
+func TestAppendBuildRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	vocab := []string{"cornea", "retina", "lesion", "graft", "membrane", "detachment", "epithelium", "pressure"}
+	randDoc := func(id int) Document {
+		n := 1 + rng.Intn(8)
+		text := ""
+		for i := 0; i < n; i++ {
+			text += vocab[rng.Intn(len(vocab))] + " "
+		}
+		return Document{ID: fmt.Sprint(id), Text: text}
+	}
+	for round := 0; round < 5; round++ {
+		inc := New(textutil.English)
+		var all []Document
+		id := 0
+		for i := 0; i < 3+rng.Intn(3); i++ {
+			batch := make([]Document, 1+rng.Intn(5))
+			for j := range batch {
+				batch[j] = randDoc(id)
+				id++
+			}
+			all = append(all, batch...)
+			if !inc.built {
+				inc.AddAll(batch)
+				inc.Build()
+			} else {
+				inc.AppendBuild(batch)
+			}
+			full := New(textutil.English)
+			full.AddAll(all)
+			full.Build()
+			equalIndexed(t, inc, full)
+		}
+	}
+}
+
+// TestAppendBuildUnbuilt: on a corpus that was never built,
+// AppendBuild degrades to AddAll + Build.
+func TestAppendBuildUnbuilt(t *testing.T) {
+	c := New(textutil.English)
+	c.Add(Document{ID: "1", Text: "corneal abrasion"})
+	c.AppendBuild([]Document{{ID: "2", Text: "retinal detachment"}})
+	if c.NumDocs() != 2 || !c.built {
+		t.Fatalf("docs = %d built = %v, want 2 built", c.NumDocs(), c.built)
+	}
+	if c.TF("corneal") != 1 || c.TF("retinal") != 1 {
+		t.Errorf("TF = %d/%d, want 1/1", c.TF("corneal"), c.TF("retinal"))
+	}
+}
+
+// TestCloneAppendBuildIndependence: the batched-ingest pattern —
+// Clone then AppendBuild — never disturbs the original corpus, which
+// concurrent readers are still serving.
+func TestCloneAppendBuildIndependence(t *testing.T) {
+	c := New(textutil.English)
+	c.AddAll([]Document{
+		{ID: "1", Text: "Corneal abrasion with epithelium scarring."},
+		{ID: "2", Text: "Membrane grafts after corneal injury."},
+	})
+	c.Build()
+	docs, tf := c.NumDocs(), c.TF("corneal")
+
+	cl := c.Clone()
+	cl.AppendBuild([]Document{{ID: "3", Text: "Another corneal abrasion case."}})
+	if cl.NumDocs() != docs+1 || cl.TF("corneal") != tf+1 {
+		t.Errorf("clone after AppendBuild: docs %d tf %d, want %d/%d",
+			cl.NumDocs(), cl.TF("corneal"), docs+1, tf+1)
+	}
+	if c.NumDocs() != docs || c.TF("corneal") != tf {
+		t.Errorf("original mutated: docs %d tf %d, want %d/%d untouched",
+			c.NumDocs(), c.TF("corneal"), docs, tf)
+	}
+}

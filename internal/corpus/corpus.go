@@ -81,15 +81,12 @@ func (c *Corpus) Doc(i int) Document { return c.docs[i] }
 // as read-only).
 func (c *Corpus) Documents() []Document { return c.docs }
 
-// Build tokenizes every document (concurrently) and constructs the
-// positional inverted index. Safe to call repeatedly; it rebuilds from
-// scratch.
-func (c *Corpus) Build() {
-	n := len(c.docs)
-	c.tokens = make([][]string, n)
-
-	// Phase 1: tokenize in parallel. Tokenization dominates build cost
-	// and is embarrassingly parallel.
+// tokenizeDocs normalizes docs into per-document token streams, in
+// parallel (tokenization dominates build cost and is embarrassingly
+// parallel). The result is positionally aligned with docs.
+func tokenizeDocs(docs []Document) [][]string {
+	n := len(docs)
+	out := make([][]string, n)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
@@ -104,7 +101,7 @@ func (c *Corpus) Build() {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				text := c.docs[i].Title + ". " + c.docs[i].Text
+				text := docs[i].Title + ". " + docs[i].Text
 				raw := textutil.Words(text)
 				toks := make([]string, 0, len(raw))
 				for _, t := range raw {
@@ -112,7 +109,7 @@ func (c *Corpus) Build() {
 						toks = append(toks, nt)
 					}
 				}
-				c.tokens[i] = toks
+				out[i] = toks
 			}
 		}()
 	}
@@ -121,24 +118,64 @@ func (c *Corpus) Build() {
 	}
 	close(jobs)
 	wg.Wait()
+	return out
+}
 
-	// Phase 2: merge into the index sequentially (postings must stay
-	// in document order for the phrase scan).
+// mergeDocTokens folds one document's token stream into the index:
+// postings in position order, one df increment per distinct token, the
+// total bumped by the stream length.
+func (c *Corpus) mergeDocTokens(doc int, toks []string) {
+	seen := make(map[string]bool, len(toks))
+	for p, tok := range toks {
+		c.index[tok] = append(c.index[tok], Posting{Doc: int32(doc), Pos: int32(p)})
+		if !seen[tok] {
+			seen[tok] = true
+			c.df[tok]++
+		}
+	}
+	c.total += len(toks)
+}
+
+// Build tokenizes every document (concurrently) and constructs the
+// positional inverted index. Safe to call repeatedly; it rebuilds from
+// scratch.
+func (c *Corpus) Build() {
+	c.tokens = tokenizeDocs(c.docs)
+
+	// Merge into the index sequentially (postings must stay in
+	// document order for the phrase scan).
 	c.index = make(map[string][]Posting)
 	c.df = make(map[string]int)
 	c.total = 0
 	for i, toks := range c.tokens {
-		seen := make(map[string]bool, len(toks))
-		for p, tok := range toks {
-			c.index[tok] = append(c.index[tok], Posting{Doc: int32(i), Pos: int32(p)})
-			if !seen[tok] {
-				seen[tok] = true
-				c.df[tok]++
-			}
-		}
-		c.total += len(toks)
+		c.mergeDocTokens(i, toks)
 	}
 	c.built = true
+}
+
+// AppendBuild appends docs and extends the built index incrementally:
+// only the appended documents are tokenized, and their postings,
+// document frequencies and token counts merge into the existing
+// structures. Appended documents always receive higher indices than
+// every indexed one, so the merged postings extend each token's list
+// in document order and the result is indistinguishable from
+// AddAll + Build — at O(batch) instead of O(corpus) cost. This is what
+// makes a copy-on-write ingest cheap: Clone() already deep-copied the
+// index, and AppendBuild grows that copy instead of discarding it. On
+// an unbuilt corpus it degrades to a full Build.
+func (c *Corpus) AppendBuild(docs []Document) {
+	if !c.built {
+		c.AddAll(docs)
+		c.Build()
+		return
+	}
+	base := len(c.docs)
+	c.docs = append(c.docs, docs...)
+	toks := tokenizeDocs(docs)
+	for i, t := range toks {
+		c.mergeDocTokens(base+i, t)
+	}
+	c.tokens = append(c.tokens, toks...)
 }
 
 // ensureBuilt panics with a clear message when a query method is used

@@ -26,6 +26,7 @@ var pipelinePackages = map[string]bool{
 	"classify":  true,
 	"recommend": true,
 	"registry":  true,
+	"batch":     true,
 }
 
 // isPipelinePackage reports whether path is one of the determinism-

@@ -15,12 +15,15 @@
 package registry
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"bioenrich/internal/batch"
+	"bioenrich/internal/corpus"
 	"bioenrich/internal/state"
 )
 
@@ -34,25 +37,46 @@ var (
 )
 
 // Entry is one hosted ontology: a name plus the snapshot store serving
-// it. The struct is immutable after registration; all mutation goes
-// through the store's epoch-checked commit paths.
+// it and the group-commit batcher writing into it. The struct is
+// immutable after registration; all mutation goes through the store's
+// epoch-checked commit paths.
 type Entry struct {
 	// Name identifies the entry in URLs (/v1/ontologies/{name}) and
 	// metric labels. See ValidName for the accepted alphabet.
 	Name string
 	// Store holds the entry's current immutable snapshot.
 	Store *state.Store
+
+	// ingest group-commits document batches into Store: every entry
+	// gets its own batcher, so heavy ingestion into one ontology never
+	// widens another's commit groups.
+	ingest *batch.Batcher
 }
 
 // Snapshot loads the entry's current snapshot: one atomic pointer
 // read, never blocking.
 func (e *Entry) Snapshot() *state.Snapshot { return e.Store.Load() }
 
+// Ingest appends docs to the entry's corpus through its group-commit
+// batcher and blocks until the group containing them is durable and
+// published (or failed — nothing published, same error to every caller
+// in the group). The returned snapshot's epoch covers the documents.
+func (e *Entry) Ingest(ctx context.Context, docs []corpus.Document) (*state.Snapshot, error) {
+	return e.ingest.Ingest(ctx, docs)
+}
+
+// Close shuts down the entry's batcher: queued batches flush as one
+// final group, then further Ingest calls fail with batch.ErrClosed.
+// Called by Registry.Close; direct use is for tests.
+func (e *Entry) Close() { e.ingest.Close() }
+
 // Registry maps names to entries. Reads (Get, Default, Names, Entries)
 // are lock-free; Add serializes on a short writer mutex and publishes
 // a fresh map. The zero value is not usable; call New.
 type Registry struct {
 	defaultName string
+	// batchOpts shapes the per-entry ingest batcher every Add creates.
+	batchOpts batch.Options
 	// mu serializes Add only. Readers never touch it: lookups load the
 	// current immutable map through the atomic pointer.
 	mu      sync.Mutex
@@ -79,9 +103,16 @@ func ValidName(name string) bool {
 
 // New builds a registry whose default entry is (defaultName, store).
 // The default entry is what the single-ontology API surface (the
-// pre-registry routes) serves.
+// pre-registry routes) serves. Entries batch ingestion with zero-value
+// batch.Options; use NewWithBatch to tune group size and window.
 func New(defaultName string, store *state.Store) (*Registry, error) {
-	r := &Registry{defaultName: defaultName}
+	return NewWithBatch(defaultName, store, batch.Options{})
+}
+
+// NewWithBatch is New with explicit ingest-batching options, applied
+// to the batcher of every entry registered now or later.
+func NewWithBatch(defaultName string, store *state.Store, opts batch.Options) (*Registry, error) {
+	r := &Registry{defaultName: defaultName, batchOpts: opts}
 	m := make(map[string]*Entry, 1)
 	r.entries.Store(&m)
 	if _, err := r.Add(defaultName, store); err != nil {
@@ -94,6 +125,15 @@ func New(defaultName string, store *state.Store) (*Registry, error) {
 // (tests, cmd wiring); it panics on error.
 func MustNew(defaultName string, store *state.Store) *Registry {
 	r, err := New(defaultName, store)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// MustNewWithBatch is NewWithBatch panicking on error.
+func MustNewWithBatch(defaultName string, store *state.Store, opts batch.Options) *Registry {
+	r, err := NewWithBatch(defaultName, store, opts)
 	if err != nil {
 		panic(err)
 	}
@@ -142,7 +182,7 @@ func (r *Registry) Add(name string, store *state.Store) (*Entry, error) {
 	if store == nil {
 		return nil, fmt.Errorf("registry: nil store for ontology %q", name)
 	}
-	e := &Entry{Name: name, Store: store}
+	e := &Entry{Name: name, Store: store, ingest: batch.New(store, r.batchOpts)}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	cur := r.entries.Load()
@@ -182,4 +222,16 @@ func (r *Registry) Entries() []*Entry {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// Close shuts down every entry's ingest batcher: queued groups flush,
+// in-flight commits finish, and later Ingest calls fail with
+// batch.ErrClosed. Call it before closing the storage backends behind
+// the stores, so no group commit races a backend shutdown. Concurrent
+// Add is the caller's responsibility to quiesce (an entry added after
+// Close returns keeps a live batcher).
+func (r *Registry) Close() {
+	for _, e := range r.Entries() {
+		e.Close()
+	}
 }

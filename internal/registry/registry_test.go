@@ -1,6 +1,9 @@
 package registry
 
 import (
+	"context"
+
+	"bioenrich/internal/batch"
 	"errors"
 	"fmt"
 	"reflect"
@@ -129,5 +132,43 @@ func TestConcurrentAddAndGet(t *testing.T) {
 	wg.Wait()
 	if r.Len() != 9 {
 		t.Fatalf("Len() = %d, want 9", r.Len())
+	}
+}
+
+// TestEntryIngestAndClose: every entry carries its own group-commit
+// batcher — Ingest lands documents, Close flushes and then rejects.
+func TestEntryIngestAndClose(t *testing.T) {
+	r := MustNew("default", testStore(t, "mesh"))
+	e := r.Default()
+
+	snap, err := e.Ingest(context.Background(), []corpus.Document{
+		{ID: "n1", Text: "retinal detachment case report"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Epoch != 2 || snap.Corpus.NumDocs() != 2 {
+		t.Fatalf("after ingest: epoch %d docs %d, want 2/2", snap.Epoch, snap.Corpus.NumDocs())
+	}
+
+	// Batchers are per entry: ingesting into a second entry never
+	// advances the first entry's store.
+	e2, err := r.Add("icd", testStore(t, "icd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.Ingest(context.Background(), []corpus.Document{{ID: "x", Text: "glaucoma"}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Snapshot().Epoch; got != 2 {
+		t.Fatalf("default entry epoch moved to %d by another entry's ingest", got)
+	}
+
+	r.Close()
+	if _, err := e.Ingest(context.Background(), nil); err == nil {
+		t.Fatal("ingest after Close succeeded")
+	}
+	if _, err := e2.Ingest(context.Background(), []corpus.Document{{ID: "y", Text: "late"}}); !errors.Is(err, batch.ErrClosed) {
+		t.Fatalf("ingest after Close = %v, want batch.ErrClosed", err)
 	}
 }

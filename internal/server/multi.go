@@ -2,7 +2,6 @@ package server
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -76,7 +75,7 @@ func (s *Server) handleClassifyNamed(w http.ResponseWriter, r *http.Request) {
 func (s *Server) decodeClassifyRequest(w http.ResponseWriter, r *http.Request) (classifyRequest, bool) {
 	s.limitBody(w, r)
 	var req classifyRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := decodeStrict(r.Body, &req); err != nil {
 		errorJSON(w, decodeStatus(err), fmt.Errorf("decode request: %w", err))
 		return req, false
 	}
@@ -148,7 +147,7 @@ type recommendRequest struct {
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	s.limitBody(w, r)
 	var req recommendRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := decodeStrict(r.Body, &req); err != nil {
 		errorJSON(w, decodeStatus(err), fmt.Errorf("decode request: %w", err))
 		return
 	}
@@ -310,7 +309,7 @@ func (s *Server) handleOntologyDocuments(w http.ResponseWriter, r *http.Request)
 	if !ok {
 		return
 	}
-	s.ingestDocuments(w, r, entry.Store)
+	s.ingestDocuments(w, r, entry)
 }
 
 // conceptSpec is one concept in a POST /v1/ontologies body.
@@ -334,7 +333,7 @@ type createOntologyRequest struct {
 func (s *Server) handleOntologyCreate(w http.ResponseWriter, r *http.Request) {
 	s.limitBody(w, r)
 	var req createOntologyRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := decodeStrict(r.Body, &req); err != nil {
 		errorJSON(w, decodeStatus(err), fmt.Errorf("decode request: %w", err))
 		return
 	}

@@ -53,10 +53,23 @@
 // serves the identical body plus a "Deprecation: true" header
 // (/ontology/term?t=<term> aliases /v1/ontology/terms/{term}).
 //
+// Document ingestion (both /v1/documents forms) is group-committed:
+// concurrent requests coalesce in a per-ontology micro-batcher
+// (internal/batch) and land as one clone + one incremental reindex +
+// one WAL record + one fsync + one epoch; each caller still gets its
+// own response carrying the epoch that covers its documents. A
+// retryable durability failure (disk full, backend closed) is reported
+// as 503 with code "unavailable", never 500.
+//
+// Request bodies are decoded strictly: exactly one JSON value, nothing
+// after it. Trailing garbage ("[]{}", "{}extra") is 400
+// invalid_argument rather than silently ignored.
+//
 // Errors are a uniform envelope with a stable machine-readable code:
 //
 //	{"error":{"code":"invalid_argument|not_found|queue_full|conflict|
-//	                  deadline_exceeded|cancelled|internal","message":"..."}}
+//	                  deadline_exceeded|cancelled|unavailable|internal",
+//	          "message":"..."}}
 //
 // and every response carries an X-Request-ID header (generated per
 // request, propagated from well-formed client values, attached to
@@ -73,8 +86,10 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"time"
 
+	"bioenrich/internal/batch"
 	"bioenrich/internal/classify"
 	"bioenrich/internal/cluster"
 	"bioenrich/internal/core"
@@ -144,6 +159,15 @@ type Options struct {
 	// epoch across the restart keep coherent conflict semantics. 0
 	// means a fresh store at epoch 1.
 	BootEpoch uint64
+	// IngestBatchSize seals an open ingest group once this many
+	// documents are queued across concurrent requests. 0 means
+	// batch.DefaultMaxDocs.
+	IngestBatchSize int
+	// IngestBatchWait is how long the ingest committer holds an open
+	// group for more requests before committing it. 0 adds no latency:
+	// a group is whatever queued while the previous commit was in
+	// flight, which already coalesces concurrent writers.
+	IngestBatchWait time.Duration
 	// OpenEntryBackend, when non-nil, provides a durability backend
 	// for ontologies created at runtime through POST /v1/ontologies:
 	// it is called with the new entry's name and seed snapshot before
@@ -194,7 +218,11 @@ func NewWithOptions(c *corpus.Corpus, o *ontology.Ontology, cfg core.Config, opt
 	if opts.Durability != nil {
 		st.SetDurable(opts.Durability)
 	}
-	return NewWithRegistry(registry.MustNew(DefaultOntology, st), cfg, opts)
+	return NewWithRegistry(registry.MustNewWithBatch(DefaultOntology, st, batch.Options{
+		MaxDocs: opts.IngestBatchSize,
+		MaxWait: opts.IngestBatchWait,
+		Obs:     opts.Obs,
+	}), cfg, opts)
 }
 
 // NewWithRegistry builds a server over a pre-populated multi-ontology
@@ -341,6 +369,27 @@ func decodeStatus(err error) int {
 	return http.StatusBadRequest
 }
 
+// decodeStrict decodes exactly one JSON value from r into v. Unlike a
+// bare json.Decoder.Decode — which stops at the end of the first value
+// and silently ignores whatever follows — it requires the second read
+// to hit io.EOF, so a body like `[...]garbage` or two concatenated
+// JSON values is a client error instead of a half-honored request.
+// Every /v1 handler that reads a body decodes through this.
+func decodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	switch err := dec.Decode(new(json.RawMessage)); {
+	case errors.Is(err, io.EOF):
+		return nil
+	case err != nil:
+		return fmt.Errorf("trailing data after JSON value: %w", err)
+	default:
+		return fmt.Errorf("trailing data after JSON value")
+	}
+}
+
 // writeJSON writes v with the given status. The body is encoded
 // up-front so an encode failure can still be reported as a 500
 // instead of a silently truncated 200 — once the first body byte is
@@ -391,6 +440,8 @@ func codeForStatus(status int) string {
 		return "cancelled"
 	case http.StatusGatewayTimeout:
 		return "deadline_exceeded"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
 	}
 	return "internal"
 }
@@ -597,21 +648,41 @@ func (s *Server) handleLink(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleAddDocuments(w http.ResponseWriter, r *http.Request) {
-	s.ingestDocuments(w, r, s.state)
+	s.ingestDocuments(w, r, s.reg.Default())
 }
 
-// ingestDocuments appends a document batch to st — the shared body of
-// POST /v1/documents (default entry) and POST
-// /v1/ontologies/{name}/documents (any entry). Ingestion must always
-// land, so it goes through the serialized Update path (no epoch race
-// to lose): clone, grow, reindex, commit. The returned Delta carries
-// the appended documents so a durable backend can WAL-log (and fsync)
-// exactly this batch before the swap — crash recovery replays it
-// verbatim. Readers keep the previous snapshot until the swap.
-func (s *Server) ingestDocuments(w http.ResponseWriter, r *http.Request, st *state.Store) {
+// ingestStatus maps an ingest failure to its response status. The
+// distinction that matters operationally: a durability rejection
+// (state.ErrUnavailable — disk full, fsync failure, backend shut down)
+// and a closing batcher are retryable server conditions, 503, while a
+// programmer error stays 500. Cancellation statuses mirror runStatus.
+func ingestStatus(err error) int {
+	switch {
+	case errors.Is(err, state.ErrUnavailable), errors.Is(err, batch.ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// ingestDocuments appends a document batch to entry — the shared body
+// of POST /v1/documents (default entry) and POST
+// /v1/ontologies/{name}/documents (any entry). The batch is validated
+// up front (no empty batch, no document with neither title nor text)
+// so rejected requests never reach the serialized write path, then
+// handed to the entry's group-commit batcher: concurrent requests
+// coalesce into one clone + one incremental reindex + one WAL record +
+// one fsync + one epoch, and this caller blocks until the group
+// containing its documents is durable and published (or failed, with
+// nothing published). The response carries the committed epoch, which
+// covers this request's documents even when the group was shared.
+func (s *Server) ingestDocuments(w http.ResponseWriter, r *http.Request, entry *registry.Entry) {
 	s.limitBody(w, r)
 	var docs []corpus.Document
-	if err := json.NewDecoder(r.Body).Decode(&docs); err != nil {
+	if err := decodeStrict(r.Body, &docs); err != nil {
 		errorJSON(w, decodeStatus(err), fmt.Errorf("decode documents: %w", err))
 		return
 	}
@@ -619,14 +690,16 @@ func (s *Server) ingestDocuments(w http.ResponseWriter, r *http.Request, st *sta
 		errorJSON(w, http.StatusBadRequest, fmt.Errorf("no documents"))
 		return
 	}
-	next, err := st.UpdateDelta(func(snap *state.Snapshot) (*corpus.Corpus, *ontology.Ontology, *state.Delta, error) {
-		cc := snap.Corpus.Clone()
-		cc.AddAll(docs)
-		cc.Build()
-		return cc, snap.Ontology, &state.Delta{Docs: docs}, nil
-	})
+	for i, d := range docs {
+		if strings.TrimSpace(d.Title) == "" && strings.TrimSpace(d.Text) == "" {
+			errorJSON(w, http.StatusBadRequest,
+				fmt.Errorf("document %d (id %q): empty title and text", i, d.ID))
+			return
+		}
+	}
+	next, err := entry.Ingest(r.Context(), docs)
 	if err != nil {
-		errorJSON(w, http.StatusInternalServerError, err)
+		errorJSON(w, ingestStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"docs": next.Corpus.NumDocs(), "epoch": next.Epoch})
@@ -661,7 +734,7 @@ type disambiguateRequest struct {
 func (s *Server) handleDisambiguate(w http.ResponseWriter, r *http.Request) {
 	s.limitBody(w, r)
 	var req disambiguateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := decodeStrict(r.Body, &req); err != nil {
 		errorJSON(w, decodeStatus(err), fmt.Errorf("decode request: %w", err))
 		return
 	}
@@ -710,13 +783,16 @@ type enrichRequest struct {
 const statusClientClosedRequest = 499
 
 // runStatus maps a pipeline error to its response status: 409 when a
-// commit lost the epoch race, 504 when the run outlived
-// Options.EnrichTimeout, 499 when the client went away (request
-// context cancelled), 500 otherwise.
+// commit lost the epoch race, 503 when the durability layer rejected
+// the publish (retryable, nothing committed), 504 when the run
+// outlived Options.EnrichTimeout, 499 when the client went away
+// (request context cancelled), 500 otherwise.
 func runStatus(err error) int {
 	switch {
 	case errors.Is(err, state.ErrStale):
 		return http.StatusConflict
+	case errors.Is(err, state.ErrUnavailable):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -734,7 +810,7 @@ func runStatus(err error) int {
 func (s *Server) decodeEnrichRequest(w http.ResponseWriter, r *http.Request) (enrichRequest, bool) {
 	s.limitBody(w, r)
 	var req enrichRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+	if err := decodeStrict(r.Body, &req); err != nil && !errors.Is(err, io.EOF) {
 		errorJSON(w, decodeStatus(err), fmt.Errorf("decode request: %w", err))
 		return req, false
 	}
@@ -847,13 +923,15 @@ type jobPayload struct {
 }
 
 // jobErrCode classifies a failed job's error into the envelope code
-// set: a lost epoch race is conflict, a timed-out run
-// deadline_exceeded, a cancelled run cancelled, anything else
-// internal.
+// set: a lost epoch race is conflict, a durability rejection
+// unavailable (retryable), a timed-out run deadline_exceeded, a
+// cancelled run cancelled, anything else internal.
 func jobErrCode(err error) string {
 	switch {
 	case errors.Is(err, state.ErrStale):
 		return "conflict"
+	case errors.Is(err, state.ErrUnavailable):
+		return "unavailable"
 	case errors.Is(err, context.DeadlineExceeded):
 		return "deadline_exceeded"
 	case errors.Is(err, context.Canceled):

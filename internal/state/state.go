@@ -27,6 +27,13 @@ import (
 // The HTTP layer maps it to 409 Conflict.
 var ErrStale = errors.New("state: snapshot is stale (a concurrent commit landed first)")
 
+// ErrUnavailable marks a publish the durability hook rejected: the
+// storage layer could not make the mutation durable (disk full, fsync
+// failure, backend shut down). Nothing was published and the mutation
+// is safe to retry, which distinguishes it from a programmer error —
+// the HTTP layer maps it to 503 Service Unavailable, not 500.
+var ErrUnavailable = errors.New("state: durability hook rejected publish")
+
 // Snapshot is one immutable version of the served data. Treat every
 // field as read-only: mutations clone first (ontology.Clone,
 // corpus.Clone) and commit the clone as a new snapshot.
@@ -178,7 +185,7 @@ func (s *Store) UpdateDelta(fn func(*Snapshot) (*corpus.Corpus, *ontology.Ontolo
 func (s *Store) publish(next *Snapshot, delta *Delta) error {
 	if s.durable != nil {
 		if err := s.durable.BeforePublish(next, delta); err != nil {
-			return fmt.Errorf("state: durability hook rejected epoch %d: %w", next.Epoch, err)
+			return fmt.Errorf("%w: epoch %d: %w", ErrUnavailable, next.Epoch, err)
 		}
 	}
 	s.cur.Store(next)

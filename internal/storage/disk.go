@@ -70,6 +70,7 @@ type Disk struct {
 	fsyncs     *obs.Counter
 	fsyncSecs  *obs.Histogram
 	walRecords *obs.Counter
+	walDocs    *obs.Counter
 	walBytes   *obs.Counter
 	segsTotal  *obs.Counter
 	segBytes   *obs.Gauge
@@ -97,6 +98,7 @@ func OpenDisk(opts DiskOptions) (*Disk, error) {
 		fsyncs:     opts.Obs.Counter(FsyncMetric),
 		fsyncSecs:  opts.Obs.Histogram(FsyncSecondsMetric, nil),
 		walRecords: opts.Obs.Counter(WALRecordsMetric),
+		walDocs:    opts.Obs.Counter(WALDocsMetric),
 		walBytes:   opts.Obs.Counter(WALBytesMetric),
 		segsTotal:  opts.Obs.Counter(SegmentsWrittenMetric),
 		segBytes:   opts.Obs.Gauge(SegmentBytesMetric),
@@ -234,6 +236,7 @@ func (d *Disk) BeforePublish(next *state.Snapshot, delta *state.Delta) error {
 		d.fsyncs.Inc()
 		d.fsyncSecs.Observe(obs.Since(start).Seconds())
 		d.walRecords.Inc()
+		d.walDocs.Add(float64(len(delta.Docs)))
 		d.walBytes.Add(float64(n))
 		d.sinceCheckpoint++
 		if d.opts.CheckpointEvery > 0 && d.sinceCheckpoint >= d.opts.CheckpointEvery {

@@ -54,8 +54,14 @@ const (
 	FsyncMetric = "bioenrich_storage_fsync_total"
 	// FsyncSecondsMetric is the fsync latency histogram.
 	FsyncSecondsMetric = "bioenrich_storage_fsync_seconds"
-	// WALRecordsMetric counts records appended to the WAL.
+	// WALRecordsMetric counts records appended to the WAL. With
+	// group-committed ingestion one record holds a whole group, so
+	// this counts commits, not documents — WALDocsMetric counts those.
 	WALRecordsMetric = "bioenrich_storage_wal_records_total"
+	// WALDocsMetric counts documents carried by appended WAL records.
+	// WALDocsMetric / WALRecordsMetric is the effective group-commit
+	// coalescing factor as the disk sees it.
+	WALDocsMetric = "bioenrich_storage_wal_docs_total"
 	// WALBytesMetric counts framed bytes appended to the WAL.
 	WALBytesMetric = "bioenrich_storage_wal_bytes_total"
 	// SegmentsWrittenMetric counts full-segment checkpoints.

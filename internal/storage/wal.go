@@ -32,7 +32,11 @@ import (
 //
 // payload gob-encodes a walRecord{Epoch, Docs}: the documents one
 // state.Store mutation appended, stamped with the epoch that mutation
-// committed as. <base epoch> is the epoch of the segment the log
+// committed as. With group-committed ingestion (internal/batch) one
+// mutation — and so one record and one fsync — carries every document
+// that concurrent requests contributed to the group; replay does not
+// care how many callers a record coalesced, only that epochs are
+// contiguous. <base epoch> is the epoch of the segment the log
 // extends: replaying the log on top of that segment, record by
 // record, reconstructs every subsequent epoch.
 //

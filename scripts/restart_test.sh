@@ -1,8 +1,12 @@
 #!/bin/sh
 # Crash-recovery smoke test against the real binary: serve with a data
-# dir, ingest documents, SIGKILL the process mid-flight, restart from
-# the data dir alone, and require the exact pre-kill epoch and document
-# count back. Exits non-zero on any divergence.
+# dir, ingest documents (sequentially, then as a concurrent burst that
+# exercises the group committer), SIGKILL the process mid-flight,
+# restart from the data dir alone, and require the exact pre-kill
+# epoch and document count back. Every acknowledged ingest — including
+# callers whose documents shared a group commit — must survive the
+# kill; a group the WAL never fsynced must have been acknowledged to
+# no one. Exits non-zero on any divergence.
 #
 # Prereqs: go toolchain, curl. Run from the repo root (make restart-test).
 set -eu
@@ -49,6 +53,26 @@ for i in 1 2 3; do
 		-H 'Content-Type: application/json' \
 		-d "[{\"id\":\"crash-$i\",\"text\":\"retinal detachment with vitreous hemorrhage $i\"}]" >/dev/null
 done
+echo "== concurrent burst: group-committed ingest"
+# Eight parallel single-doc writers; the batcher coalesces whatever
+# races into shared group commits. Collect the curl PIDs explicitly —
+# a bare `wait` would also wait on the background server process.
+BURST_PIDS=""
+for i in 1 2 3 4 5 6 7 8; do
+	curl -fsS -X POST "$BASE/v1/documents" \
+		-H 'Content-Type: application/json' \
+		-d "[{\"id\":\"burst-$i\",\"text\":\"corneal lesion burst document $i\"}]" >"$WORK/burst-$i.json" &
+	BURST_PIDS="$BURST_PIDS $!"
+done
+for p in $BURST_PIDS; do
+	wait "$p" || { echo "FAIL: concurrent ingest request failed"; exit 1; }
+done
+# Every acknowledged response must carry an epoch (its group's commit).
+for i in 1 2 3 4 5 6 7 8; do
+	EP="$(field epoch <"$WORK/burst-$i.json")"
+	[ -n "$EP" ] || { echo "FAIL: burst writer $i got no epoch"; cat "$WORK/burst-$i.json"; exit 1; }
+done
+
 HEALTH="$(curl -fsS "$BASE/v1/health")"
 WANT_DOCS="$(echo "$HEALTH" | field docs)"
 WANT_EPOCH="$(echo "$HEALTH" | field epoch)"
