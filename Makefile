@@ -2,14 +2,15 @@
 #
 #   make verify   tier-1 gate: build + vet + lint + race-enabled tests
 #   make test     plain test run (what CI's quick loop wants)
-#   make lint     in-repo analyzers (cmd/biolint): determinism/context/obs/lock invariants
+#   make lint     in-repo analyzers (cmd/biolint): determinism/context/obs/lock/snapshot/goroutine/envelope/metric invariants
+#   make lint-bench   serial-vs-parallel lint driver wall-clock -> LINTBENCH_<timestamp>.txt
 #   make fuzz-smoke   10s native-fuzz pass over the tokenizer and corpus reader
 #   make bench    full benchmark sweep -> BENCH_<timestamp>.json
 #   make bench-enricher   just the worker-pool speedup pair
 
 GO ?= go
 
-.PHONY: verify build vet test race lint fuzz-smoke staticcheck bench bench-enricher bench-ingest restart-test
+.PHONY: verify build vet test race race-gate-check lint lint-bench fuzz-smoke staticcheck bench bench-enricher bench-ingest restart-test
 
 build:
 	$(GO) build ./...
@@ -27,18 +28,38 @@ test:
 # manager's lifecycle and the server's snapshot-isolated serving;
 # these packages are where the concurrency lives, the rest ride along
 # for free. internal/storage joins the gate because the disk backend's
-# mutex serializes WAL appends against checkpoints. CI
-# (.github/workflows/ci.yml) runs the same gate.
+# mutex serializes WAL appends against checkpoints; internal/corpus
+# for its tokenize worker pool; internal/lint for the parallel
+# load/analyze driver. CI (.github/workflows/ci.yml) runs the same
+# gate, and scripts/race_gate_check.sh proves this list plus its
+# documented exemptions cover ./internal/... exactly.
 race:
-	$(GO) test -race ./internal/core ./internal/server ./internal/linkage ./internal/obs ./internal/senseind ./internal/state ./internal/jobs ./internal/storage ./internal/registry ./internal/classify ./internal/recommend ./internal/batch
+	$(GO) test -race ./internal/core ./internal/server ./internal/linkage ./internal/obs ./internal/senseind ./internal/state ./internal/jobs ./internal/storage ./internal/registry ./internal/classify ./internal/recommend ./internal/batch ./internal/corpus ./internal/lint
+
+race-gate-check:
+	./scripts/race_gate_check.sh
 
 # biolint is the repo's own analyzer suite (internal/lint, stdlib-only):
 # it mechanically enforces the determinism, context-propagation, obs
-# nil-safety and lock-discipline invariants the earlier PRs introduced.
-# Exits non-zero on any finding; suppressions require an annotated
-# reason (//biolint:allow <rule> <reason>). See DESIGN.md.
+# nil-safety, lock-discipline, snapshot-immutability, goroutine-join,
+# error-envelope and metric-naming invariants the earlier PRs
+# introduced. Exits non-zero on any finding; suppressions require an
+# annotated reason (//biolint:allow <rule> <reason>) and stale
+# suppressions are themselves findings. Machine-readable output:
+# go run ./cmd/biolint -json ./... (CI uploads it as an artifact).
+# See DESIGN.md.
 lint:
 	$(GO) run ./cmd/biolint ./...
+
+# Records the parallel driver's wall-clock against the serial baseline
+# on the live module, into a timestamped file so the speedup is
+# tracked per change. Two pairs: Lint* is end-to-end (includes the
+# fixed-cost `go list` exec, so its speedup is Amdahl-bounded);
+# CheckAnalyze* times just the parse/type-check/analyze phase the
+# worker pool parallelizes. The parallel legs run GOMAXPROCS workers —
+# on a single-CPU host they degenerate to the serial numbers.
+lint-bench:
+	$(GO) test -run '^$$' -bench 'Benchmark(Lint|CheckAnalyze)(Serial|Parallel)' -benchtime 3x ./internal/lint | tee LINTBENCH_$$(date +%Y%m%d_%H%M%S).txt
 
 # Short native-fuzz pass over the two untrusted-input parsers. CI runs
 # the same smoke lane; longer local sessions just raise -fuzztime.
@@ -65,7 +86,7 @@ staticcheck:
 		echo "staticcheck not installed; skipping (CI enforces it)"; \
 	fi
 
-verify: build vet lint test race
+verify: build vet lint test race-gate-check race
 
 # Bench trajectory: one JSON-lines file per invocation (test2json
 # stream), named so successive runs accumulate side by side.

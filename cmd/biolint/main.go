@@ -5,10 +5,14 @@
 //
 // Usage:
 //
-//	biolint [-C dir] [packages]
+//	biolint [-C dir] [-j n] [-json] [packages]
 //
 // packages default to ./... resolved in -C dir (default: the current
-// directory). Exit status: 0 clean, 1 findings, 2 usage or load
+// directory). -j sets the worker count for the parallel load/analyze
+// pool (default GOMAXPROCS; -j 1 is the serial loader — findings are
+// identical at any setting, only wall-clock changes). -json replaces
+// the vet-style lines with a machine-readable findings array for CI
+// artifacts. Exit status: 0 clean, 1 findings, 2 usage or load
 // failure. Suppress a finding — with a recorded reason — via
 // `//biolint:allow <rule> <reason>` on the offending line or the line
 // above; see package lint for the rule catalogue (`biolint
@@ -16,17 +20,29 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"bioenrich/internal/lint"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonFinding is the -json wire shape: one object per finding, the
+// same fields the text format prints, split out for tooling.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
 }
 
 // run is main with injectable streams and exit code, so the e2e tests
@@ -36,8 +52,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	dir := fs.String("C", ".", "resolve package patterns in `dir`")
 	listAnalyzers := fs.Bool("analyzers", false, "list analyzers and exit")
+	workers := fs.Int("j", runtime.GOMAXPROCS(0), "load/analyze worker `count` (1 = serial)")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array (CI artifact format)")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: biolint [-C dir] [-analyzers] [packages]")
+		fmt.Fprintln(stderr, "usage: biolint [-C dir] [-j n] [-json] [-analyzers] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -49,27 +67,54 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
+	if *workers < 1 {
+		fmt.Fprintln(stderr, "biolint: -j must be >= 1")
+		return 2
+	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := lint.Load(*dir, patterns)
+	pkgs, err := lint.LoadWorkers(*dir, patterns, *workers)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	findings := lint.Run(pkgs, lint.Analyzers())
+	findings := lint.RunWorkers(pkgs, lint.Analyzers(), *workers)
 	base, err := filepath.Abs(*dir)
 	if err != nil {
 		base = *dir
 	}
-	for _, f := range findings {
-		// Paths print relative to -C dir: stable across checkouts, so
-		// CI output diffs cleanly against a previous run.
-		if rel, err := filepath.Rel(base, f.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
-			f.Pos.Filename = rel
+	// Paths print relative to -C dir: stable across checkouts, so CI
+	// output diffs cleanly against a previous run.
+	rel := func(name string) string {
+		if r, err := filepath.Rel(base, name); err == nil && !filepath.IsAbs(r) {
+			return r
 		}
-		fmt.Fprintln(stdout, f)
+		return name
+	}
+	if *asJSON {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File:    rel(f.Pos.Filename),
+				Line:    f.Pos.Line,
+				Column:  f.Pos.Column,
+				Rule:    f.Rule,
+				Message: f.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			f.Pos.Filename = rel(f.Pos.Filename)
+			fmt.Fprintln(stdout, f)
+		}
 	}
 	if len(findings) > 0 {
 		return 1

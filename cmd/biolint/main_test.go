@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -50,10 +52,72 @@ func TestRunFixtureModuleFindings(t *testing.T) {
 		"[obs-nilcheck]",
 		"[mutex-return]",
 		"[directive]",
+		"[snapshot-mutation]",
+		"[goroutine-discipline]",
+		"[error-envelope]",
+		"[metric-name]",
+		"[unused-suppression]",
 	} {
 		if !strings.Contains(out, rule) {
 			t.Errorf("no finding tagged %s\noutput:\n%s", rule, out)
 		}
+	}
+}
+
+// The -json stream must carry the same findings as the text format,
+// in the same order, as parseable objects — it is the CI artifact.
+func TestRunJSONMatchesText(t *testing.T) {
+	dir := fixtureDir(t)
+	var text, jsonOut, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "./..."}, &text, &stderr); code != 1 {
+		t.Fatalf("text run: exit %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	stderr.Reset()
+	if code := run([]string{"-C", dir, "-json", "./..."}, &jsonOut, &stderr); code != 1 {
+		t.Fatalf("json run: exit %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal(jsonOut.Bytes(), &findings); err != nil {
+		t.Fatalf("-json output is not a findings array: %v\n%s", err, jsonOut.String())
+	}
+	textLines := strings.Split(strings.TrimRight(text.String(), "\n"), "\n")
+	if len(findings) != len(textLines) {
+		t.Fatalf("json has %d findings, text %d", len(findings), len(textLines))
+	}
+	for i, f := range findings {
+		if f.File == "" || f.Line == 0 || f.Rule == "" || f.Message == "" {
+			t.Errorf("finding %d has empty fields: %+v", i, f)
+		}
+		if filepath.IsAbs(f.File) {
+			t.Errorf("finding %d path not relative to -C dir: %q", i, f.File)
+		}
+		want := fmt.Sprintf("%s:%d:%d: %s [%s]", f.File, f.Line, f.Column, f.Message, f.Rule)
+		if textLines[i] != want {
+			t.Errorf("finding %d mismatch:\ntext: %s\njson: %s", i, textLines[i], want)
+		}
+	}
+}
+
+// Worker count changes wall-clock only, never output.
+func TestRunWorkerCountDoesNotChangeOutput(t *testing.T) {
+	dir := fixtureDir(t)
+	var serial, parallel, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "-j", "1", "./..."}, &serial, &stderr); code != 1 {
+		t.Fatalf("-j 1: exit %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	stderr.Reset()
+	if code := run([]string{"-C", dir, "-j", "8", "./..."}, &parallel, &stderr); code != 1 {
+		t.Fatalf("-j 8: exit %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("output differs between -j 1 and -j 8:\nserial:\n%s\nparallel:\n%s", serial.String(), parallel.String())
+	}
+}
+
+func TestRunBadWorkerCountIsUsageError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-j", "0", "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2 for -j 0", code)
 	}
 }
 

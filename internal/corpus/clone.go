@@ -22,7 +22,9 @@ func (c *Corpus) Clone() *Corpus {
 		}
 	}
 	for tok, postings := range c.index {
-		out.index[tok] = append([]Posting(nil), postings...)
+		cp := make([]Posting, len(postings))
+		copy(cp, postings)
+		out.index[tok] = cp
 	}
 	for tok, n := range c.df {
 		out.df[tok] = n

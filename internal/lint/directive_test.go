@@ -37,6 +37,42 @@ func f() {
 	}
 }
 
+// Every v2 rule name must parse in a directive, and a directive
+// naming any of them without a reason must stay malformed — the
+// grammar is rule-agnostic, but a new analyzer whose name broke it
+// (say, with a space) would silently lose its escape hatch.
+func TestDirectiveNewRuleNames(t *testing.T) {
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	for _, rule := range []string{"snapshot-mutation", "goroutine-discipline", "error-envelope", "metric-name"} {
+		if !known[rule] {
+			t.Fatalf("rule %q not registered in Analyzers()", rule)
+		}
+		t.Run(rule+"/missing-reason", func(t *testing.T) {
+			pkg := parseOne(t, "package x\n\nfunc f() {\n\t//biolint:allow "+rule+"\n\t_ = 1\n}\n")
+			_, bad := collectDirectives(pkg, known)
+			if len(bad) != 1 || !strings.Contains(bad[0].Message, "malformed") {
+				t.Fatalf("want one malformed-directive finding for reasonless %s, got %v", rule, bad)
+			}
+		})
+		t.Run(rule+"/well-formed", func(t *testing.T) {
+			pkg := parseOne(t, "package x\n\nfunc f() {\n\t//biolint:allow "+rule+" documented exception\n\t_ = 1\n}\n")
+			dirs, bad := collectDirectives(pkg, known)
+			if len(bad) != 0 {
+				t.Fatalf("well-formed %s directive reported: %v", rule, bad)
+			}
+			f := Finding{Rule: rule}
+			f.Pos.Filename = "fixture.go"
+			f.Pos.Line = 5
+			if !dirs.allows(f) {
+				t.Fatalf("%s directive does not suppress the next line", rule)
+			}
+		})
+	}
+}
+
 func TestDirectiveBareMarker(t *testing.T) {
 	pkg := parseOne(t, `package x
 

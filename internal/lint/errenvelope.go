@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ErrEnvelope enforces the /v1 error contract: every error response
+// leaving internal/server carries the uniform JSON envelope
+// {"error":{code,message}}, produced by the sanctioned writeError
+// mapper (which routes through writeJSON). Three ways to break it:
+//
+//   - calling http.Error directly — plain-text body, no envelope;
+//   - calling WriteHeader with a 5xx on an http.ResponseWriter outside
+//     the sanctioned writers — status without an envelope body;
+//   - a naked w.Write on an http.ResponseWriter outside the sanctioned
+//     writers — bytes that bypassed the envelope encoder entirely.
+//
+// The sanctioned writers are writeJSON and writeError themselves, plus
+// methods named Write/WriteHeader — those are the forwarding halves of
+// recorder/decorator types (statusRecorder), not response producers.
+//
+// The rule also pins the retryability contract: any branch guarded by
+// errors.Is(err, state.ErrUnavailable) must resolve to 503
+// (http.StatusServiceUnavailable). Mapping a full disk or a
+// shut-down backend to 500 turns "retry shortly" into "page someone".
+var ErrEnvelope = &Analyzer{
+	Name: "error-envelope",
+	Doc:  "server errors flow through writeError; state.ErrUnavailable maps to 503",
+	Run:  runErrEnvelope,
+}
+
+// envelopeWriters are the functions allowed to touch the raw
+// ResponseWriter in internal/server.
+var envelopeWriters = map[string]bool{
+	"writeJSON":  true,
+	"writeError": true,
+}
+
+func runErrEnvelope(p *Pass) {
+	if !strings.Contains(p.Pkg.PkgPath, "internal/server") {
+		return
+	}
+	forEachFunc(p.Pkg, func(fd *ast.FuncDecl) {
+		name := fd.Name.Name
+		sanctioned := envelopeWriters[name] ||
+			(fd.Recv != nil && (name == "Write" || name == "WriteHeader"))
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkEnvelopeCall(p, n, sanctioned)
+			case *ast.IfStmt:
+				if guardsErrUnavailable(p.Pkg.Info, n.Cond) {
+					checkUnavailableBranch(p, n.Body)
+				}
+			case *ast.CaseClause:
+				for _, e := range n.List {
+					if guardsErrUnavailable(p.Pkg.Info, e) {
+						checkUnavailableBody(p, n.Body)
+						break
+					}
+				}
+			}
+			return true
+		})
+	})
+}
+
+// checkEnvelopeCall flags the three raw-response shapes.
+func checkEnvelopeCall(p *Pass, call *ast.CallExpr, sanctioned bool) {
+	// http.Error is never allowed, sanctioned writers included — even
+	// writeJSON's fallback hand-writes the envelope instead.
+	if pkgPath, fn := calleePkgFunc(p.Pkg.Info, call); pkgPath == "net/http" && fn == "Error" {
+		p.Reportf(call.Pos(), "http.Error writes a plain-text body outside the error envelope: use writeError")
+		return
+	}
+	if sanctioned {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !isResponseWriter(p.Pkg.Info, sel.X) {
+		return
+	}
+	switch sel.Sel.Name {
+	case "WriteHeader":
+		if len(call.Args) != 1 {
+			return
+		}
+		if code, ok := intConst(p.Pkg.Info, call.Args[0]); ok && code >= 500 && code <= 599 {
+			p.Reportf(call.Pos(), "WriteHeader(%d) outside writeError sends a 5xx with no error envelope: use writeError", code)
+		}
+	case "Write":
+		p.Reportf(call.Pos(), "naked Write on the ResponseWriter bypasses the error envelope: use writeJSON/writeError")
+	}
+}
+
+// guardsErrUnavailable reports whether cond contains a call
+// errors.Is(err, state.ErrUnavailable).
+func guardsErrUnavailable(info *types.Info, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkgPath, fn := calleePkgFunc(info, call); pkgPath != "errors" || fn != "Is" || len(call.Args) != 2 {
+			return true
+		}
+		sel, ok := call.Args[1].(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "ErrUnavailable" {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := info.Uses[id].(*types.PkgName); ok &&
+				strings.HasSuffix(pn.Imported().Path(), "internal/state") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkUnavailableBranch applies the 503 pin to an if body.
+func checkUnavailableBranch(p *Pass, body *ast.BlockStmt) {
+	checkUnavailableBody(p, body.List)
+}
+
+// checkUnavailableBody flags any HTTP status constant other than 503
+// inside a branch guarded by state.ErrUnavailable — whether returned
+// (status-mapper style) or passed to a writer.
+func checkUnavailableBody(p *Pass, stmts []ast.Stmt) {
+	for _, stmt := range stmts {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			var exprs []ast.Expr
+			switch n := n.(type) {
+			case *ast.ReturnStmt:
+				exprs = n.Results
+			case *ast.CallExpr:
+				exprs = n.Args
+			default:
+				return true
+			}
+			for _, e := range exprs {
+				if code, ok := intConst(p.Pkg.Info, e); ok && code >= 100 && code <= 599 && code != 503 {
+					p.Reportf(e.Pos(), "state.ErrUnavailable mapped to %d: unavailability is retryable and must be 503", code)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isResponseWriter reports whether e is typed net/http.ResponseWriter.
+func isResponseWriter(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "ResponseWriter" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}
+
+// intConst resolves e to an integer constant via the type-checker's
+// constant folding, so http.StatusServiceUnavailable and a literal 503
+// are the same value.
+func intConst(info *types.Info, e ast.Expr) (int64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}

@@ -1,0 +1,21 @@
+package lint_test
+
+import (
+	"testing"
+
+	"bioenrich/internal/lint"
+)
+
+func TestErrEnvelopeGolden(t *testing.T) {
+	pkgs := loadFixture(t, "./internal/server/envelope")
+	checkWant(t, pkgs, lint.Run(pkgs, []*lint.Analyzer{lint.ErrEnvelope}))
+}
+
+// The rule is scoped to server packages: the same raw writes anywhere
+// else are someone else's problem.
+func TestErrEnvelopeIgnoresNonServerPackages(t *testing.T) {
+	pkgs := loadFixture(t, "./pkgok")
+	if got := lint.Run(pkgs, []*lint.Analyzer{lint.ErrEnvelope}); len(got) != 0 {
+		t.Fatalf("non-server package flagged: %v", got)
+	}
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"bioenrich/internal/lint"
+)
+
+func TestGoroutineDisciplineGolden(t *testing.T) {
+	pkgs := loadFixture(t, "./internal/spawn")
+	checkWant(t, pkgs, lint.Run(pkgs, []*lint.Analyzer{lint.GoroutineDiscipline}))
+}

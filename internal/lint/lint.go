@@ -21,6 +21,18 @@
 //   - fsync-before-rename: in internal/storage, a function calling
 //     os.Rename must fsync first — the atomic-publish idiom is only
 //     crash-safe when the renamed bytes are already on disk.
+//   - snapshot-mutation: a corpus/ontology reached through a
+//     state.Snapshot is shared with every concurrent reader and must
+//     be Clone()d before any write (interprocedural, one-to-two call
+//     levels within a package).
+//   - goroutine-discipline: every go statement in internal/ needs a
+//     join (WaitGroup/channel receive) or a ctx.Done() bound in the
+//     launched function, else the goroutine leaks.
+//   - error-envelope: internal/server errors flow through the
+//     writeError mapper — no http.Error, bare 5xx WriteHeader or naked
+//     ResponseWriter.Write — and state.ErrUnavailable maps to 503.
+//   - metric-name: obs Counter/Gauge/Histogram registrations use
+//     compile-time constant names matching the bioenrich_* grammar.
 //
 // The suite is built on stdlib go/ast + go/parser + go/types only (no
 // golang.org/x/tools dependency, mirroring the repo-wide stdlib-only
@@ -36,7 +48,9 @@
 //
 // where <rule> is an analyzer name and <reason> is mandatory free
 // text. Malformed or unknown-rule directives are themselves findings,
-// so a typo cannot silently disable enforcement.
+// so a typo cannot silently disable enforcement, and a directive that
+// no longer suppresses anything is flagged under unused-suppression —
+// stale armor is deleted, not accumulated.
 package lint
 
 import (
@@ -45,6 +59,7 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Finding is one diagnostic, positioned and attributed to the
@@ -88,7 +103,10 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers returns the full biolint suite.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Nondeterminism, ContextBackground, ObsNilCheck, MutexReturn, HandlerLock, FsyncRename}
+	return []*Analyzer{
+		Nondeterminism, ContextBackground, ObsNilCheck, MutexReturn, HandlerLock, FsyncRename,
+		SnapshotMutation, GoroutineDiscipline, ErrEnvelope, MetricName,
+	}
 }
 
 // Run applies every analyzer to every package, resolves
@@ -96,24 +114,45 @@ func Analyzers() []*Analyzer {
 // sorted by (file, line, column, rule, message) so output is stable
 // across runs and machines.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	return RunWorkers(pkgs, analyzers, 1)
+}
+
+// RunWorkers is Run with a bounded worker pool: packages are analyzed
+// independently (one goroutine per pool slot), results merged and
+// sorted. Findings are identical to the serial run — each package's
+// analysis is self-contained, and the final sort imposes the global
+// order — so workers only changes wall-clock, never output.
+func RunWorkers(pkgs []*Package, analyzers []*Analyzer, workers int) []Finding {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
-	var out []Finding
-	for _, pkg := range pkgs {
-		dirs, dirFindings := collectDirectives(pkg, known)
-		out = append(out, dirFindings...)
-		for _, a := range analyzers {
-			p := &Pass{Analyzer: a, Pkg: pkg}
-			a.Run(p)
-			for _, f := range p.findings {
-				if dirs.allows(f) {
-					continue
-				}
-				out = append(out, f)
+	perPkg := make([][]Finding, len(pkgs))
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				perPkg[i] = analyzePackage(pkgs[i], analyzers, known)
 			}
-		}
+		}()
+	}
+	for i := range pkgs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	var out []Finding
+	for _, fs := range perPkg {
+		out = append(out, fs...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -134,23 +173,83 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	return out
 }
 
+// analyzePackage runs the analyzers over one package, applying
+// suppressions and appending directive hygiene findings: malformed
+// directives (from collectDirectives) and unused suppressions — a
+// //biolint:allow for a rule in this run that suppressed nothing is
+// dead armor and must be deleted before it hides a future regression.
+func analyzePackage(pkg *Package, analyzers []*Analyzer, known map[string]bool) []Finding {
+	dirs, out := collectDirectives(pkg, known)
+	for _, a := range analyzers {
+		p := &Pass{Analyzer: a, Pkg: pkg}
+		a.Run(p)
+		for _, f := range p.findings {
+			if dirs.allows(f) {
+				continue
+			}
+			out = append(out, f)
+		}
+	}
+	for _, file := range sortedKeys(dirs) {
+		for _, line := range sortedIntKeys(dirs[file]) {
+			for _, d := range dirs[file][line] {
+				if !d.used {
+					out = append(out, Finding{
+						Pos:     d.pos,
+						Rule:    "unused-suppression",
+						Message: fmt.Sprintf("%s %s suppresses nothing: delete the stale directive", allowPrefix, d.rule),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func sortedKeys(m directives) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedIntKeys(m map[int][]*directive) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
 // allowPrefix is the directive marker. Per Go directive convention it
 // must start the comment with no space after //.
 const allowPrefix = "//biolint:allow"
 
-// directives maps file → line → rules allowed on that line.
-type directives map[string]map[int][]string
+// directive is one parsed //biolint:allow, tracking whether it
+// actually suppressed a finding this run.
+type directive struct {
+	rule string
+	pos  token.Position
+	used bool
+}
+
+// directives maps file → line → the directives on that line.
+type directives map[string]map[int][]*directive
 
 // allows reports whether f is suppressed by a directive on its line
-// or the line directly above.
+// or the line directly above, marking the suppressing directive used.
 func (d directives) allows(f Finding) bool {
 	lines := d[f.Pos.Filename]
 	if lines == nil {
 		return false
 	}
 	for _, l := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
-		for _, rule := range lines[l] {
-			if rule == f.Rule {
+		for _, dir := range lines[l] {
+			if dir.rule == f.Rule {
+				dir.used = true
 				return true
 			}
 		}
@@ -204,9 +303,9 @@ func collectDirectives(pkg *Package, known map[string]bool) (directives, []Findi
 				}
 				pos := pkg.Fset.Position(c.Pos())
 				if dirs[pos.Filename] == nil {
-					dirs[pos.Filename] = make(map[int][]string)
+					dirs[pos.Filename] = make(map[int][]*directive)
 				}
-				dirs[pos.Filename][pos.Line] = append(dirs[pos.Filename][pos.Line], rule)
+				dirs[pos.Filename][pos.Line] = append(dirs[pos.Filename][pos.Line], &directive{rule: rule, pos: pos})
 			}
 		}
 	}

@@ -13,7 +13,9 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // Package is one type-checked package ready for analysis.
@@ -49,6 +51,152 @@ type listPackage struct {
 // so the loader needs nothing beyond the go toolchain and the stdlib
 // go/* packages.
 func Load(dir string, patterns []string) ([]*Package, error) {
+	return LoadWorkers(dir, patterns, 1)
+}
+
+// LoadWorkers is Load with a bounded worker pool over the parse +
+// type-check phase, which dominates load time once `go list` has
+// enumerated the module (one serial exec — the cost is fixed; the
+// per-package work is what parallelizes).
+//
+// The token.FileSet is shared across workers (it locks internally, and
+// the line/column positions findings are keyed on don't depend on base
+// offsets, so output is identical at any worker count). The export-data
+// importer is shared too, behind a mutex: the gc importer is not
+// documented as concurrency-safe, but the *types.Package values it
+// caches are immutable once decoded, so serializing Import calls while
+// sharing their results is safe — the same shape go/packages uses for
+// its parallel type-checking. Sharing means each dependency's export
+// data is decoded exactly once no matter the worker count; per-worker
+// importers would re-decode the stdlib per worker and eat the speedup.
+// Errors are deterministic too: the first error in target order wins,
+// not the first in wall-clock order.
+func LoadWorkers(dir string, patterns []string, workers int) ([]*Package, error) {
+	exports, targets, err := golist(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("lint: no packages match %s", strings.Join(patterns, " "))
+	}
+	return typecheckAll(exports, targets, workers)
+}
+
+// typecheckAll is the parallel phase of LoadWorkers: parse and
+// type-check every target over the worker pool. Split out so the
+// lint-bench pair can time it apart from the fixed-cost `go list`
+// exec that precedes it.
+//
+// Three sub-phases. (1) Parse every target in parallel — pure CPU, no
+// shared state beyond the internally-locked FileSet. (2) Warm the
+// shared importer serially over the union of direct imports: export
+// data must decode under the importer's lock anyway, and decoding it
+// once up front means the type-check phase sees only cache hits
+// instead of a lock convoy where the first worker decodes the stdlib
+// while the rest queue behind the mutex. (3) Type-check every target
+// in parallel against the warm cache.
+func typecheckAll(exports map[string]string, targets []listPackage, workers int) ([]*Package, error) {
+	fset := token.NewFileSet()
+	imp := &lockedImporter{imp: importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	})}
+
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(targets) {
+		workers = len(targets)
+	}
+
+	parsed := make([][]*ast.File, len(targets))
+	errs := make([]error, len(targets))
+	runPool(workers, len(targets), func(i int) {
+		parsed[i], errs[i] = parseTarget(fset, targets[i])
+	})
+
+	// Warm in deterministic (target, file, import) order; failures are
+	// ignored here so the type-check phase reports them attributed to
+	// the right package, first-in-target-order.
+	warmed := make(map[string]bool)
+	for i := range targets {
+		if errs[i] != nil {
+			continue
+		}
+		for _, f := range parsed[i] {
+			for _, spec := range f.Imports {
+				path, err := strconv.Unquote(spec.Path.Value)
+				if err != nil || warmed[path] {
+					continue
+				}
+				warmed[path] = true
+				imp.Import(path)
+			}
+		}
+	}
+
+	results := make([]*Package, len(targets))
+	runPool(workers, len(targets), func(i int) {
+		if errs[i] != nil {
+			return
+		}
+		results[i], errs[i] = checkPackage(fset, imp, targets[i], parsed[i])
+	})
+
+	var pkgs []*Package
+	for i := range targets {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		if results[i] != nil {
+			pkgs = append(pkgs, results[i])
+		}
+	}
+	return pkgs, nil
+}
+
+// runPool runs fn(0..n-1) over a bounded worker pool.
+func runPool(workers, n int, fn func(int)) {
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// lockedImporter serializes Import calls into the shared gc importer.
+// Decoded *types.Package values are immutable, so handing the same
+// instance to concurrent type-checkers is safe; only the importer's
+// internal cache needs the lock.
+type lockedImporter struct {
+	mu  sync.Mutex
+	imp types.Importer
+}
+
+func (l *lockedImporter) Import(path string) (*types.Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.imp.Import(path)
+}
+
+// golist runs the single `go list -export -deps` enumeration, wiring
+// export data for every dependency and collecting the target
+// (non-DepOnly) packages to analyze.
+func golist(dir string, patterns []string) (map[string]string, []listPackage, error) {
 	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Dir,Name,Export,GoFiles,Standard,DepOnly,Error"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -56,18 +204,16 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 	cmd.Stdout = &stdout
 	cmd.Stderr = &stderr
 	if err := cmd.Run(); err != nil {
-		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+		return nil, nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
 	}
 
-	// First pass over the stream: export data for every dependency,
-	// and the target (non-DepOnly) packages to analyze.
 	exports := make(map[string]string)
 	var targets []listPackage
 	dec := json.NewDecoder(&stdout)
 	for dec.More() {
 		var p listPackage
 		if err := dec.Decode(&p); err != nil {
-			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+			return nil, nil, fmt.Errorf("lint: decoding go list output: %w", err)
 		}
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
@@ -76,66 +222,60 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 			continue
 		}
 		if p.Error != nil {
-			return nil, fmt.Errorf("lint: package %s: %s", p.ImportPath, p.Error.Err)
+			return nil, nil, fmt.Errorf("lint: package %s: %s", p.ImportPath, p.Error.Err)
 		}
 		targets = append(targets, p)
 	}
-	if len(targets) == 0 {
-		return nil, fmt.Errorf("lint: no packages match %s", strings.Join(patterns, " "))
-	}
+	return exports, targets, nil
+}
 
-	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
-		file, ok := exports[path]
-		if !ok {
-			return nil, fmt.Errorf("lint: no export data for %q", path)
+// parseTarget parses one target's non-test sources.
+func parseTarget(fset *token.FileSet, t listPackage) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range t.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
 		}
-		return os.Open(file)
-	})
+		files = append(files, f)
+	}
+	return files, nil
+}
 
-	var pkgs []*Package
-	for _, t := range targets {
-		var files []*ast.File
-		for _, name := range t.GoFiles {
-			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
-			if err != nil {
-				return nil, fmt.Errorf("lint: %w", err)
+// checkPackage type-checks one parsed target. A target with no
+// buildable files returns (nil, nil) and is skipped.
+func checkPackage(fset *token.FileSet, imp types.Importer, t listPackage, files []*ast.File) (*Package, error) {
+	if len(files) == 0 {
+		return nil, nil
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var typeErr error
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if typeErr == nil {
+				typeErr = err
 			}
-			files = append(files, f)
-		}
-		if len(files) == 0 {
-			continue
-		}
-		info := &types.Info{
-			Types:      make(map[ast.Expr]types.TypeAndValue),
-			Defs:       make(map[*ast.Ident]types.Object),
-			Uses:       make(map[*ast.Ident]types.Object),
-			Selections: make(map[*ast.SelectorExpr]*types.Selection),
-		}
-		var typeErr error
-		conf := types.Config{
-			Importer: imp,
-			Error: func(err error) {
-				if typeErr == nil {
-					typeErr = err
-				}
-			},
-		}
-		tpkg, err := conf.Check(t.ImportPath, fset, files, info)
-		if typeErr == nil {
-			typeErr = err
-		}
-		if typeErr != nil {
-			return nil, fmt.Errorf("lint: type-checking %s: %w", t.ImportPath, typeErr)
-		}
-		pkgs = append(pkgs, &Package{
-			PkgPath: t.ImportPath,
-			Dir:     t.Dir,
-			Fset:    fset,
-			Files:   files,
-			Types:   tpkg,
-			Info:    info,
-		})
+		},
 	}
-	return pkgs, nil
+	tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+	if typeErr == nil {
+		typeErr = err
+	}
+	if typeErr != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", t.ImportPath, typeErr)
+	}
+	return &Package{
+		PkgPath: t.ImportPath,
+		Dir:     t.Dir,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
 }

@@ -1,0 +1,39 @@
+package lint
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// benchCheckAnalyze times the phase the worker pool parallelizes —
+// parse, type-check, analyze — with the fixed-cost `go list` exec
+// hoisted out of the loop. The end-to-end pair in parallel_test.go
+// includes that exec, so its speedup is Amdahl-bounded (the exec is
+// roughly two thirds of a full run on this module); this pair shows
+// what the pool actually buys on the parallelizable work.
+func benchCheckAnalyze(b *testing.B, workers int) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		b.Fatal(err)
+	}
+	exports, targets, err := golist(root, []string{"./..."})
+	if err != nil {
+		b.Fatal(err)
+	}
+	analyzers := Analyzers()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkgs, err := typecheckAll(exports, targets, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if findings := RunWorkers(pkgs, analyzers, workers); len(findings) != 0 {
+			b.Fatalf("repo tree has findings: %v", findings)
+		}
+	}
+}
+
+func BenchmarkCheckAnalyzeSerial(b *testing.B)   { benchCheckAnalyze(b, 1) }
+func BenchmarkCheckAnalyzeParallel(b *testing.B) { benchCheckAnalyze(b, runtime.GOMAXPROCS(0)) }

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// MetricName pins the obs metric-name grammar. Every name registered
+// through the obs Registry (Counter, Gauge, Histogram) becomes a
+// label in dashboards and a key in scrape pipelines; one off-grammar
+// name ("bioEnrich-HTTP.requests") breaks the `bioenrich_*` namespace
+// query every dashboard starts from. Names must be compile-time
+// string constants — a runtime-built name can't be audited here and
+// can explode metric cardinality — and must match:
+//
+//	^bioenrich_[a-z0-9_]+(_total|_seconds|_bytes)?$
+//
+// i.e. the reserved prefix, lower_snake segments, and an optional
+// conventional unit/kind suffix (counters end _total, durations
+// _seconds, sizes _bytes).
+var MetricName = &Analyzer{
+	Name: "metric-name",
+	Doc:  "obs metric registrations use constant names matching ^bioenrich_[a-z0-9_]+(_total|_seconds|_bytes)?$",
+	Run:  runMetricName,
+}
+
+// metricNameRE is the registration grammar. The suffix group is
+// deliberately spelled out even though [a-z0-9_]+ subsumes it: the
+// grammar documents the three sanctioned unit suffixes.
+var metricNameRE = regexp.MustCompile(`^bioenrich_[a-z0-9_]+(_total|_seconds|_bytes)?$`)
+
+// metricRegistrars are the Registry methods whose first argument is a
+// metric name.
+var metricRegistrars = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+}
+
+func runMetricName(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !metricRegistrars[sel.Sel.Name] || !isObsRegistry(p.Pkg.Info, sel.X) {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			arg := call.Args[0]
+			tv, ok := p.Pkg.Info.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				p.Reportf(arg.Pos(), "obs.%s name must be a compile-time string constant, not a runtime-built value", sel.Sel.Name)
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if !metricNameRE.MatchString(name) {
+				p.Reportf(arg.Pos(), "obs.%s name %q does not match %s", sel.Sel.Name, name, metricNameRE)
+			}
+			return true
+		})
+	}
+}
+
+// isObsRegistry reports whether e is typed (*)Registry from the obs
+// package.
+func isObsRegistry(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/obs")
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"bioenrich/internal/lint"
+)
+
+func TestMetricNameGolden(t *testing.T) {
+	pkgs := loadFixture(t, "./internal/metrics")
+	checkWant(t, pkgs, lint.Run(pkgs, []*lint.Analyzer{lint.MetricName}))
+}

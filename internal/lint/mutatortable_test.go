@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"bioenrich/internal/corpus"
+	"bioenrich/internal/ontology"
+)
+
+// The snapshot-mutation rule matches mutators by name against a
+// curated table; if a listed method is renamed away on the real type,
+// the rule goes blind to it silently. This test pins the table to the
+// live API.
+func TestSnapshotMutatorsExistOnRealTypes(t *testing.T) {
+	real := map[string]reflect.Type{
+		"Corpus":   reflect.TypeOf(&corpus.Corpus{}),
+		"Ontology": reflect.TypeOf(&ontology.Ontology{}),
+	}
+	for typeName, methods := range snapshotMutators {
+		rt, ok := real[typeName]
+		if !ok {
+			t.Errorf("snapshotMutators lists unknown type %q", typeName)
+			continue
+		}
+		names := make([]string, 0, len(methods))
+		for m := range methods {
+			names = append(names, m)
+		}
+		sort.Strings(names)
+		for _, m := range names {
+			if _, ok := rt.MethodByName(m); !ok {
+				t.Errorf("snapshotMutators[%s] lists %s, but %s has no such method — update the table", typeName, m, rt)
+			}
+		}
+		// Clone must exist too: it is the sanctioned escape the rule
+		// steers users toward.
+		if _, ok := rt.MethodByName("Clone"); !ok {
+			t.Errorf("%s has no Clone method — the rule's fix advice is wrong", rt)
+		}
+	}
+}

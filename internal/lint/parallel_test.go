@@ -1,0 +1,88 @@
+package lint_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"bioenrich/internal/lint"
+)
+
+// fixtureModDir is the nested fixture module, shared with loadFixture.
+var fixtureModDir = filepath.Join("testdata", "mod")
+
+// renderFindings flattens findings for comparison.
+func renderFindings(fs []lint.Finding) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.String()
+	}
+	return out
+}
+
+// The parallel pool is a wall-clock optimization only: at any worker
+// count, the loader must produce the same packages and the runner the
+// same findings in the same order as the serial path.
+func TestParallelFindingsMatchSerial(t *testing.T) {
+	serialPkgs, err := lint.LoadWorkers(fixtureModDir, []string{"./..."}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := renderFindings(lint.Run(serialPkgs, lint.Analyzers()))
+	if len(serial) == 0 {
+		t.Fatal("fixture module produced no findings; the parity check proves nothing")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			pkgs, err := lint.LoadWorkers(fixtureModDir, []string{"./..."}, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := len(pkgs), len(serialPkgs); got != want {
+				t.Fatalf("parallel load returned %d packages, serial %d", got, want)
+			}
+			got := renderFindings(lint.RunWorkers(pkgs, lint.Analyzers(), workers))
+			if len(got) != len(serial) {
+				t.Fatalf("parallel found %d findings, serial %d:\nparallel: %v\nserial: %v", len(got), len(serial), got, serial)
+			}
+			for i := range got {
+				if got[i] != serial[i] {
+					t.Errorf("finding %d differs:\nparallel: %s\nserial:   %s", i, got[i], serial[i])
+				}
+			}
+		})
+	}
+}
+
+// repoRoot locates the real module for the lint-bench pair.
+func repoRoot(t testing.TB) string {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// benchLint loads and analyzes the full repo module at the given
+// worker count. `make lint-bench` runs the serial/parallel pair once
+// each and records wall-clock; the parallel driver's speedup is the
+// ratio.
+func benchLint(b *testing.B, workers int) {
+	root := repoRoot(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pkgs, err := lint.LoadWorkers(root, []string{"./..."}, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		findings := lint.RunWorkers(pkgs, lint.Analyzers(), workers)
+		if len(findings) != 0 {
+			b.Fatalf("repo tree has findings: %v", findings)
+		}
+	}
+}
+
+func BenchmarkLintSerial(b *testing.B)   { benchLint(b, 1) }
+func BenchmarkLintParallel(b *testing.B) { benchLint(b, runtime.GOMAXPROCS(0)) }

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// golistImports runs `go list` at the module root and returns the
+// bioenrich-internal import paths it prints.
+func golistImports(t *testing.T, args ...string) map[string]bool {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = root
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("go list %v: %v", args, err)
+	}
+	pkgs := make(map[string]bool)
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if strings.HasPrefix(line, "bioenrich/internal/") {
+			pkgs[line] = true
+		}
+	}
+	return pkgs
+}
+
+// segment maps an import path to the final-segment key the
+// nondeterminism analyzer classifies by.
+func segment(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// The pipeline package list is derived, not curated: the determinism
+// gate must cover exactly the internal packages reachable from the
+// report-producing roots (minus documented exemptions). This test
+// recomputes that closure from the live module tree, so adding a new
+// internal package to the report path without classifying it — the
+// failure mode that forced hand-edits to pipelinePackages in PRs 7
+// and 8 — now fails the build with instructions instead of silently
+// escaping the gate.
+func TestPipelinePackagesDerivedFromModuleTree(t *testing.T) {
+	allInternal := golistImports(t, "./internal/...")
+
+	rootPatterns := make([]string, 0, len(pipelineRoots)+2)
+	rootPatterns = append(rootPatterns, "-deps")
+	for _, r := range pipelineRoots {
+		pattern := "./internal/" + r
+		rootPatterns = append(rootPatterns, pattern)
+		if !pipelinePackages[r] {
+			t.Errorf("pipeline root %q is not in pipelinePackages", r)
+		}
+	}
+	closure := golistImports(t, rootPatterns...)
+
+	for path := range closure {
+		seg := segment(path)
+		inPipeline := pipelinePackages[seg]
+		_, exempt := pipelineExempt[seg]
+		switch {
+		case !inPipeline && !exempt:
+			t.Errorf("%s is reachable from the report roots but unclassified: add %q to pipelinePackages (determinism gate) or pipelineExempt (with a reason) in nondeterminism.go", path, seg)
+		case inPipeline && exempt:
+			t.Errorf("%s is in both pipelinePackages and pipelineExempt; pick one", path)
+		}
+	}
+
+	// No stale entries: every classified segment must correspond to a
+	// package that is actually report-reachable today.
+	closureSegs := make(map[string]bool, len(closure))
+	for path := range closure {
+		closureSegs[segment(path)] = true
+	}
+	for seg := range pipelinePackages {
+		if !closureSegs[seg] {
+			t.Errorf("pipelinePackages[%q] is stale: no report-reachable internal package has that final segment", seg)
+		}
+	}
+	for seg, reason := range pipelineExempt {
+		if !closureSegs[seg] {
+			t.Errorf("pipelineExempt[%q] (%s) is stale: no report-reachable internal package has that final segment", seg, reason)
+		}
+		if strings.TrimSpace(reason) == "" {
+			t.Errorf("pipelineExempt[%q] has no recorded reason", seg)
+		}
+	}
+
+	// Final-segment keys must be unambiguous across the whole internal
+	// tree: if two internal packages ever share a segment, the
+	// map-by-segment scheme silently gates (or exempts) both.
+	seen := make(map[string]string, len(allInternal))
+	for path := range allInternal {
+		seg := segment(path)
+		if prev, dup := seen[seg]; dup && (pipelinePackages[seg] || pipelineExempt[seg] != "") {
+			t.Errorf("segment %q is ambiguous: %s and %s — classification by final segment no longer works", seg, prev, path)
+		}
+		seen[seg] = path
+	}
+}

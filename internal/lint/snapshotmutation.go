@@ -1,0 +1,440 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SnapshotMutation enforces the immutability contract at the heart of
+// the snapshot-isolated serving design: a *corpus.Corpus or
+// *ontology.Ontology reached through a state.Snapshot (a Store.Load()
+// result, an Entry.Snapshot(), a snapshot parameter — anything typed
+// state.Snapshot) is published, shared with every concurrent reader,
+// and must never be written. Mutations clone first: Clone() produces a
+// private copy, and only the clone may be modified and committed back
+// through the store's epoch-checked verbs.
+//
+// The analyzer taints every corpus/ontology value obtained from a
+// snapshot field and follows it through same-package value flow, in
+// the style of nondeterminism's interprocedural sort detection:
+//
+//   - assignments propagate taint (snap := st.Load(); c := snap.Corpus),
+//     and a Clone() call clears it;
+//   - a same-package function whose returns are snapshot fields taints
+//     its call results one level deep (the accessor-wrapper pattern);
+//   - a tainted value passed as an argument to a same-package function
+//     is checked inside the callee, up to two call levels deep, and a
+//     mutation there is reported at the call site.
+//
+// A write is: a field assignment, a map/slice store, an append whose
+// first argument is rooted in the tainted value, or a call to a
+// pointer-receiver method known to mutate (the curated mutator tables
+// below; snapshotmutation_test.go asserts every listed method still
+// exists on the real types, so a rename cannot silently blind the
+// rule).
+var SnapshotMutation = &Analyzer{
+	Name: "snapshot-mutation",
+	Doc:  "values reached through a state.Snapshot are immutable: Clone() before any write",
+	Run:  runSnapshotMutation,
+}
+
+// snapshotMutators lists, per protected type, the exported
+// pointer-receiver methods that mutate the receiver. Read accessors
+// (NumDocs, Search, Concept, ...) are deliberately absent; Clone is
+// the sanctioned way out of the contract.
+var snapshotMutators = map[string]map[string]bool{
+	"Corpus": {
+		"Add":         true,
+		"AddAll":      true,
+		"Build":       true,
+		"AppendBuild": true,
+	},
+	"Ontology": {
+		"AddConcept":    true,
+		"AddSynonym":    true,
+		"SetParent":     true,
+		"RemoveConcept": true,
+		"RemoveTerm":    true,
+	},
+}
+
+// maxSnapshotDepth bounds the same-package call walk: the call site
+// itself plus two callee levels, mirroring the issue's one-to-two-level
+// value-flow contract.
+const maxSnapshotDepth = 2
+
+// isProtectedType reports whether t (possibly behind a pointer) is one
+// of the snapshot-protected types, returning its name ("Corpus" or
+// "Ontology").
+func isProtectedType(t types.Type) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", false
+	}
+	switch {
+	case obj.Name() == "Corpus" && strings.HasSuffix(obj.Pkg().Path(), "internal/corpus"):
+		return "Corpus", true
+	case obj.Name() == "Ontology" && strings.HasSuffix(obj.Pkg().Path(), "internal/ontology"):
+		return "Ontology", true
+	}
+	return "", false
+}
+
+// isSnapshotType reports whether t (possibly behind a pointer) is
+// state.Snapshot.
+func isSnapshotType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Snapshot" && obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/state")
+}
+
+// snapshotFinding carries a mutation found inside an interprocedural
+// callee walk back to the call site that supplied the tainted value.
+type snapshotFinding struct {
+	msg string
+	ok  bool
+}
+
+// snapshotScan is the per-function analysis state for one walk.
+type snapshotScan struct {
+	p      *Pass
+	bodies map[types.Object]*ast.FuncDecl
+	// tainted holds the variables currently bound to a snapshot-derived
+	// corpus/ontology.
+	tainted map[types.Object]bool
+	// handled marks append calls already reported through their
+	// enclosing assignment, so one `c.S = append(c.S, x)` is one
+	// finding, not two.
+	handled map[ast.Node]bool
+	// depth > 0 means we are inside a callee reached from a tainted
+	// argument; findings are returned to the caller instead of being
+	// reported directly.
+	depth int
+	// active guards against recursive same-package call chains.
+	active map[types.Object]bool
+}
+
+func runSnapshotMutation(p *Pass) {
+	if !strings.Contains(p.Pkg.PkgPath, "internal/") {
+		return
+	}
+	bodies := packageFuncBodies(p.Pkg)
+	forEachFunc(p.Pkg, func(fd *ast.FuncDecl) {
+		s := &snapshotScan{
+			p:       p,
+			bodies:  bodies,
+			tainted: make(map[types.Object]bool),
+			handled: make(map[ast.Node]bool),
+			active:  map[types.Object]bool{p.Pkg.Info.Defs[fd.Name]: true},
+		}
+		s.walk(fd.Body)
+	})
+}
+
+// derived reports whether e evaluates to a snapshot-derived protected
+// value, naming the protected type. The three shapes: a tainted
+// variable, a Corpus/Ontology field selected off a snapshot-typed
+// expression, and (one level deep) a same-package call whose function
+// returns a snapshot field.
+func (s *snapshotScan) derived(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return s.derived(e.X)
+	case *ast.Ident:
+		if obj := s.p.Pkg.Info.Uses[e]; obj != nil && s.tainted[obj] {
+			name, _ := isProtectedType(obj.Type())
+			return name, true
+		}
+	case *ast.SelectorExpr:
+		if e.Sel.Name != "Corpus" && e.Sel.Name != "Ontology" {
+			return "", false
+		}
+		if tv, ok := s.p.Pkg.Info.Types[e.X]; ok && isSnapshotType(tv.Type) {
+			if tv2, ok := s.p.Pkg.Info.Types[ast.Expr(e)]; ok {
+				if name, ok := isProtectedType(tv2.Type); ok {
+					return name, true
+				}
+			}
+		}
+	case *ast.CallExpr:
+		if fd := s.calleeDecl(e); fd != nil && returnsSnapshotField(s.p.Pkg, fd) {
+			if tv, ok := s.p.Pkg.Info.Types[ast.Expr(e)]; ok {
+				if name, ok := isProtectedType(tv.Type); ok {
+					return name, true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// calleeDecl resolves a same-package call to its declaration, or nil.
+func (s *snapshotScan) calleeDecl(call *ast.CallExpr) *ast.FuncDecl {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return s.bodies[s.p.Pkg.Info.Uses[fun]]
+	case *ast.SelectorExpr:
+		return s.bodies[s.p.Pkg.Info.Uses[fun.Sel]]
+	}
+	return nil
+}
+
+// returnsSnapshotField reports whether fd's returns include a
+// Corpus/Ontology field selected off a snapshot-typed expression — the
+// accessor-wrapper pattern (func (s *Server) curCorpus() *corpus.Corpus
+// { return s.store.Load().Corpus }).
+func returnsSnapshotField(pkg *Package, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if sel, ok := res.(*ast.SelectorExpr); ok &&
+				(sel.Sel.Name == "Corpus" || sel.Sel.Name == "Ontology") {
+				if tv, ok := pkg.Info.Types[sel.X]; ok && isSnapshotType(tv.Type) {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isCloneCall reports whether e is a .Clone() method call — the
+// sanctioned copy that clears taint.
+func isCloneCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Clone"
+}
+
+// writeRoot walks selector/index/star chains in lhs looking for a
+// snapshot-derived prefix: `snap.Corpus.Docs[i]` roots at snap.Corpus.
+func (s *snapshotScan) writeRoot(lhs ast.Expr) (ast.Expr, string, bool) {
+	for {
+		switch e := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = e.X
+		case *ast.SelectorExpr:
+			if name, ok := s.derived(e.X); ok {
+				return e.X, name, true
+			}
+			lhs = e.X
+		case *ast.IndexExpr:
+			if name, ok := s.derived(e.X); ok {
+				return e.X, name, true
+			}
+			lhs = e.X
+		case *ast.StarExpr:
+			if name, ok := s.derived(e.X); ok {
+				return e.X, name, true
+			}
+			lhs = e.X
+		default:
+			return nil, "", false
+		}
+	}
+}
+
+// walk scans one function body; inside a callee walk (depth > 0) it
+// returns the first mutation instead of reporting.
+func (s *snapshotScan) walk(body *ast.BlockStmt) snapshotFinding {
+	var hit snapshotFinding
+	ast.Inspect(body, func(n ast.Node) bool {
+		if hit.ok && s.depth > 0 {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			hit = s.assign(n, hit)
+		case *ast.IncDecStmt:
+			if root, name, ok := s.writeRoot(n.X); ok {
+				hit = s.emit(n.Pos(), hit, "write into snapshot %s (%s): Clone() before mutating a published snapshot", name, render(s.p, root))
+			}
+		case *ast.CallExpr:
+			hit = s.call(n, hit)
+		}
+		return true
+	})
+	return hit
+}
+
+// assign handles taint propagation and LHS writes for one assignment.
+func (s *snapshotScan) assign(a *ast.AssignStmt, hit snapshotFinding) snapshotFinding {
+	for _, lhs := range a.Lhs {
+		if root, name, ok := s.writeRoot(lhs); ok {
+			hit = s.emit(a.TokPos, hit, "write into snapshot %s (%s): Clone() before mutating a published snapshot", name, render(s.p, root))
+			// An `x.F = append(x.F, ...)` is one mutation: swallow the
+			// matching append so it is not re-reported.
+			for _, rhs := range a.Rhs {
+				if call, ok := rhs.(*ast.CallExpr); ok && isAppendCall(s.p.Pkg.Info, call) {
+					s.handled[call] = true
+				}
+			}
+		}
+	}
+	// Taint propagation: assignments with 1:1 lhs/rhs pairing. A
+	// rebinding to anything non-derived (including x.Clone()) clears
+	// the variable's taint.
+	if len(a.Lhs) == len(a.Rhs) {
+		for i, lhs := range a.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := s.p.Pkg.Info.Defs[id]
+			if obj == nil {
+				obj = s.p.Pkg.Info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			if _, derived := s.derived(a.Rhs[i]); derived && !isCloneCall(a.Rhs[i]) {
+				s.tainted[obj] = true
+			} else {
+				delete(s.tainted, obj)
+			}
+		}
+	}
+	return hit
+}
+
+// call handles appends into tainted values, mutating method calls, and
+// the interprocedural walk into same-package callees.
+func (s *snapshotScan) call(call *ast.CallExpr, hit snapshotFinding) snapshotFinding {
+	if isAppendCall(s.p.Pkg.Info, call) {
+		if s.handled[call] || len(call.Args) == 0 {
+			return hit
+		}
+		if root, name, ok := s.writeRoot(call.Args[0]); ok {
+			hit = s.emit(call.Pos(), hit, "append into snapshot %s (%s): Clone() before mutating a published snapshot", name, render(s.p, root))
+		}
+		return hit
+	}
+	// Mutator method on a derived receiver: snap.Corpus.Add(doc).
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if name, derived := s.derived(sel.X); derived {
+			if snapshotMutators[name][sel.Sel.Name] {
+				return s.emit(call.Pos(), hit, "call to (*%s).%s on snapshot %s (%s): Clone() before mutating a published snapshot",
+					name, sel.Sel.Name, name, render(s.p, sel.X))
+			}
+		}
+	}
+	// Interprocedural: a tainted argument handed to a same-package
+	// function is checked inside the callee, bounded to two levels.
+	if s.depth >= maxSnapshotDepth {
+		return hit
+	}
+	fd := s.calleeDecl(call)
+	if fd == nil {
+		return hit
+	}
+	calleeObj := s.p.Pkg.Info.Defs[fd.Name]
+	if s.active[calleeObj] {
+		return hit
+	}
+	params := flattenParams(fd)
+	for i, arg := range call.Args {
+		name, derived := s.derived(arg)
+		if !derived || isCloneCall(arg) || i >= len(params) || params[i] == nil {
+			continue
+		}
+		pobj := s.p.Pkg.Info.Defs[params[i]]
+		if pobj == nil {
+			continue
+		}
+		sub := &snapshotScan{
+			p:       s.p,
+			bodies:  s.bodies,
+			tainted: map[types.Object]bool{pobj: true},
+			handled: make(map[ast.Node]bool),
+			depth:   s.depth + 1,
+			active:  make(map[types.Object]bool, len(s.active)+1),
+		}
+		for k := range s.active {
+			sub.active[k] = true
+		}
+		sub.active[calleeObj] = true
+		if inner := sub.walk(fd.Body); inner.ok {
+			hit = s.emit(call.Pos(), hit, "passes snapshot %s to %s, which mutates it (%s): Clone() first",
+				name, fd.Name.Name, inner.msg)
+		}
+	}
+	return hit
+}
+
+// emit reports directly at depth 0; inside a callee walk it captures
+// the first finding for the caller to attribute to the call site.
+func (s *snapshotScan) emit(pos token.Pos, hit snapshotFinding, format string, args ...any) snapshotFinding {
+	if s.depth > 0 {
+		if !hit.ok {
+			return snapshotFinding{msg: fmt.Sprintf(format, args...), ok: true}
+		}
+		return hit
+	}
+	s.p.Reportf(pos, format, args...)
+	return snapshotFinding{ok: true}
+}
+
+// isAppendCall recognizes the append builtin.
+func isAppendCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// flattenParams expands fd's parameter list into one ident per
+// parameter, positionally aligned with call arguments.
+func flattenParams(fd *ast.FuncDecl) []*ast.Ident {
+	var out []*ast.Ident
+	for _, field := range fd.Type.Params.List {
+		if len(field.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		out = append(out, field.Names...)
+	}
+	return out
+}
+
+// render prints an expression for finding messages.
+func render(p *Pass, e ast.Expr) string {
+	return renderExpr(p.Pkg.Fset, e)
+}

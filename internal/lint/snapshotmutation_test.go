@@ -1,0 +1,21 @@
+package lint_test
+
+import (
+	"testing"
+
+	"bioenrich/internal/lint"
+)
+
+func TestSnapshotMutationGolden(t *testing.T) {
+	pkgs := loadFixture(t, "./internal/snapmut")
+	checkWant(t, pkgs, lint.Run(pkgs, []*lint.Analyzer{lint.SnapshotMutation}))
+}
+
+// The support packages define the protected types and their mutators;
+// defining a mutator is not mutating a snapshot, so they are clean.
+func TestSnapshotMutationSupportPackagesClean(t *testing.T) {
+	pkgs := loadFixture(t, "./internal/corpus", "./internal/ontology", "./internal/state")
+	if got := lint.Run(pkgs, []*lint.Analyzer{lint.SnapshotMutation}); len(got) != 0 {
+		t.Fatalf("support packages should be clean, got %v", got)
+	}
+}

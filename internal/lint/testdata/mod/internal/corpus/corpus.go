@@ -1,0 +1,52 @@
+// Package corpus is a biolint fixture support package: it mirrors the
+// real corpus API surface the snapshot-mutation rule protects — the
+// mutator set (Add, AddAll, Build, AppendBuild) and the sanctioned
+// Clone escape. The snapmut fixture package exercises the rule against
+// these types.
+package corpus
+
+// Document is one ingested document.
+type Document struct {
+	ID   string
+	Text string
+}
+
+// Corpus is the protected aggregate.
+type Corpus struct {
+	Docs  []Document
+	Terms []string
+}
+
+// Add appends one document (mutator).
+func (c *Corpus) Add(d Document) {
+	c.Docs = append(c.Docs, d)
+}
+
+// AddAll appends a batch (mutator).
+func (c *Corpus) AddAll(ds []Document) {
+	c.Docs = append(c.Docs, ds...)
+}
+
+// Build recomputes derived state (mutator).
+func (c *Corpus) Build() {
+	c.Terms = c.Terms[:0]
+	for _, d := range c.Docs {
+		c.Terms = append(c.Terms, d.ID)
+	}
+}
+
+// AppendBuild ingests and rebuilds incrementally (mutator).
+func (c *Corpus) AppendBuild(ds []Document) {
+	c.Docs = append(c.Docs, ds...)
+	c.Build()
+}
+
+// Clone returns a private deep copy — the one sanctioned route from a
+// published snapshot to a mutable value.
+func (c *Corpus) Clone() *Corpus {
+	out := &Corpus{
+		Docs:  append([]Document(nil), c.Docs...),
+		Terms: append([]string(nil), c.Terms...),
+	}
+	return out
+}

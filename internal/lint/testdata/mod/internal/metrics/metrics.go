@@ -1,0 +1,22 @@
+// Package metrics is the biolint fixture for the metric-name rule:
+// obs registrations use compile-time constant names matching
+// ^bioenrich_[a-z0-9_]+(_total|_seconds|_bytes)?$.
+package metrics
+
+import "fixture.example/internal/obs"
+
+// metricJobSeconds demonstrates the const-folded registration path.
+const metricJobSeconds = "bioenrich_fixture_job_seconds"
+
+// Register exercises the grammar.
+func Register(r *obs.Registry, suffix string) {
+	// Conformant names — the near-miss negatives: literal and constant.
+	r.Counter("bioenrich_fixture_ingested_total")
+	r.Gauge("bioenrich_fixture_queue_depth")
+	r.Histogram(metricJobSeconds, nil)
+
+	r.Counter("fixture_ingested_total")    // want "does not match"
+	r.Gauge("bioenrich_Queue_Depth")       // want "does not match"
+	r.Histogram("bioenrich-job.secs", nil) // want "does not match"
+	r.Counter("bioenrich_rate" + suffix)   // want "compile-time string constant"
+}

@@ -1,0 +1,48 @@
+// Package ontology is a biolint fixture support package mirroring the
+// real ontology's mutator surface for the snapshot-mutation rule.
+package ontology
+
+// Ontology is the protected aggregate.
+type Ontology struct {
+	Name     string
+	Concepts map[string][]string
+}
+
+// AddConcept registers a concept (mutator).
+func (o *Ontology) AddConcept(id string) {
+	if o.Concepts == nil {
+		o.Concepts = make(map[string][]string)
+	}
+	o.Concepts[id] = nil
+}
+
+// AddSynonym attaches a synonym (mutator).
+func (o *Ontology) AddSynonym(id, syn string) {
+	o.Concepts[id] = append(o.Concepts[id], syn)
+}
+
+// SetParent rewires the hierarchy (mutator).
+func (o *Ontology) SetParent(id, parent string) {
+	o.Concepts[id] = append(o.Concepts[id], parent)
+}
+
+// RemoveConcept deletes a concept (mutator).
+func (o *Ontology) RemoveConcept(id string) {
+	delete(o.Concepts, id)
+}
+
+// RemoveTerm deletes a term (mutator).
+func (o *Ontology) RemoveTerm(id, term string) {
+	delete(o.Concepts, id+term)
+}
+
+// Clone returns a private deep copy.
+func (o *Ontology) Clone() *Ontology {
+	out := &Ontology{Name: o.Name, Concepts: make(map[string][]string, len(o.Concepts))}
+	for k, v := range o.Concepts {
+		cp := make([]string, len(v))
+		copy(cp, v)
+		out.Concepts[k] = cp
+	}
+	return out
+}

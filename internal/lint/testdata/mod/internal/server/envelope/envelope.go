@@ -1,0 +1,100 @@
+// Package envelope is the biolint fixture for the error-envelope
+// rule: server errors flow through the sanctioned writeError mapper,
+// and state.ErrUnavailable always maps to 503.
+package envelope
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"fixture.example/internal/state"
+)
+
+// writeJSON is the sanctioned response writer — raw WriteHeader/Write
+// inside it are the envelope implementation, not bypasses.
+func writeJSON(w http.ResponseWriter, code int, body string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if _, err := w.Write([]byte(body)); err != nil {
+		_ = err
+	}
+}
+
+// writeError is the sanctioned error mapper.
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, fmt.Sprintf(`{"error":{"code":%d,"message":%q}}`, code, err.Error()))
+}
+
+// RawError bypasses the envelope three ways.
+func RawError(w http.ResponseWriter, err error) {
+	http.Error(w, err.Error(), http.StatusInternalServerError) // want "http.Error writes a plain-text body"
+	w.WriteHeader(http.StatusBadGateway)                       // want "no error envelope"
+	if _, werr := w.Write([]byte("oops")); werr != nil {       // want "naked Write"
+		_ = werr
+	}
+}
+
+// WrongUnavailable maps the retryable durability error to a 500.
+func WrongUnavailable(w http.ResponseWriter, err error) {
+	if errors.Is(err, state.ErrUnavailable) {
+		writeError(w, http.StatusInternalServerError, err) // want "must be 503"
+		return
+	}
+	writeError(w, http.StatusInternalServerError, err)
+}
+
+// wrongStatusMapper misroutes in the status-mapper shape.
+func wrongStatusMapper(err error) int {
+	switch {
+	case errors.Is(err, state.ErrUnavailable):
+		return http.StatusInternalServerError // want "must be 503"
+	}
+	return http.StatusInternalServerError
+}
+
+// EnvelopePath is the sanctioned flow — the near-miss negative: same
+// error, same writer, correct mapper and status. No findings.
+func EnvelopePath(w http.ResponseWriter, err error) {
+	if errors.Is(err, state.ErrUnavailable) {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, err)
+}
+
+// rightStatusMapper routes unavailability to 503.
+func rightStatusMapper(err error) int {
+	switch {
+	case errors.Is(err, state.ErrUnavailable):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// OKHeader writes a non-5xx status directly: outside the rule — only
+// 5xx without an envelope is a bypass.
+func OKHeader(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// recorder forwards like the real statusRecorder; Write/WriteHeader
+// method names exempt the forwarding halves.
+type recorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *recorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *recorder) Write(b []byte) (int, error) {
+	return r.ResponseWriter.Write(b)
+}
+
+// use keeps the unexported mappers referenced.
+var _ = []any{wrongStatusMapper, rightStatusMapper}

@@ -1,0 +1,119 @@
+// Package snapmut is the biolint fixture for the snapshot-mutation
+// rule: values reached through a state.Snapshot are published and
+// immutable; Clone() is the only route to a writable copy.
+package snapmut
+
+import (
+	"fixture.example/internal/corpus"
+	"fixture.example/internal/state"
+)
+
+// MutateDirect writes through the snapshot without cloning — every
+// concurrent reader sees the torn update.
+func MutateDirect(st *state.Store, d corpus.Document) {
+	snap := st.Load()
+	snap.Corpus.Add(d) // want "before mutating a published snapshot"
+}
+
+// MutateChained mutates straight off the Load() chain.
+func MutateChained(st *state.Store) {
+	st.Load().Ontology.AddConcept("c1") // want "before mutating a published snapshot"
+}
+
+// MutateAlias launders the snapshot corpus through a local variable;
+// the taint follows the assignment.
+func MutateAlias(st *state.Store) {
+	snap := st.Load()
+	c := snap.Corpus
+	c.Build() // want "before mutating a published snapshot"
+}
+
+// AppendInto grows a snapshot-owned slice in place — one finding for
+// the write, not two (the append is folded into the assignment).
+func AppendInto(st *state.Store, d corpus.Document) {
+	snap := st.Load()
+	snap.Corpus.Docs = append(snap.Corpus.Docs, d) // want "before mutating a published snapshot"
+}
+
+// FieldStore writes an element of a snapshot-owned slice.
+func FieldStore(st *state.Store, d corpus.Document) {
+	snap := st.Load()
+	snap.Corpus.Docs[0] = d // want "before mutating a published snapshot"
+}
+
+// MutateViaHelper hands the snapshot corpus to a same-package helper
+// that mutates it; the finding lands on the call site (one level).
+func MutateViaHelper(st *state.Store) {
+	snap := st.Load()
+	rebuild(snap.Corpus) // want "passes snapshot Corpus to rebuild, which mutates it"
+}
+
+func rebuild(c *corpus.Corpus) {
+	c.Build()
+}
+
+// MutateTwoLevels reaches the write through two same-package calls —
+// the bound of the interprocedural walk.
+func MutateTwoLevels(st *state.Store, d corpus.Document) {
+	snap := st.Load()
+	ingest(snap.Corpus, d) // want "passes snapshot Corpus to ingest, which mutates it"
+}
+
+func ingest(c *corpus.Corpus, d corpus.Document) {
+	addOne(c, d)
+}
+
+func addOne(c *corpus.Corpus, d corpus.Document) {
+	c.Add(d)
+}
+
+// svc wraps a store behind the accessor idiom the real server uses.
+type svc struct {
+	st *state.Store
+}
+
+// cur is an accessor returning a snapshot field; its results carry the
+// taint one call level out.
+func (s *svc) cur() *corpus.Corpus {
+	return s.st.Load().Corpus
+}
+
+// MutateViaAccessor mutates the accessor's result.
+func (s *svc) MutateViaAccessor(d corpus.Document) {
+	c := s.cur()
+	c.Add(d) // want "before mutating a published snapshot"
+}
+
+// CloneThenMutate is the sanctioned pattern — the near-miss negative:
+// same mutators, but on a private clone. No findings.
+func CloneThenMutate(st *state.Store, d corpus.Document) *corpus.Corpus {
+	snap := st.Load()
+	cc := snap.Corpus.Clone()
+	cc.Add(d)
+	cc.Build()
+	oc := snap.Ontology.Clone()
+	oc.AddConcept("c2")
+	return cc
+}
+
+// HelperOnClone passes a clone to the same mutating helper — the
+// interprocedural walk must not flag clean arguments. No findings.
+func HelperOnClone(st *state.Store) {
+	snap := st.Load()
+	rebuild(snap.Corpus.Clone())
+}
+
+// LocalCorpus mutates a locally constructed corpus: never published,
+// never a finding.
+func LocalCorpus(d corpus.Document) *corpus.Corpus {
+	c := &corpus.Corpus{}
+	c.Add(d)
+	c.Build()
+	return c
+}
+
+// ReadOnly reads through the snapshot — reads are always fine.
+func ReadOnly(st *state.Store) int {
+	snap := st.Load()
+	return len(snap.Corpus.Docs) + len(snap.Ontology.Concepts)
+}

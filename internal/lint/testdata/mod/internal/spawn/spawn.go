@@ -1,0 +1,101 @@
+// Package spawn is the biolint fixture for the goroutine-discipline
+// rule: every go statement needs a join at the launch site or a
+// Done()/ctx.Done() bound in the launched function.
+package spawn
+
+import (
+	"context"
+	"sync"
+)
+
+// LeakLiteral launches an unsupervised loop: nothing joins it and
+// nothing cancels it.
+func LeakLiteral() {
+	go func() { // want "goroutine leak"
+		for {
+			process(0)
+		}
+	}()
+}
+
+// spin is an unsupervised named loop body.
+func spin() {
+	for {
+		process(1)
+	}
+}
+
+// LeakNamed launches a same-package function with no join evidence on
+// either side.
+func LeakNamed() {
+	go spin() // want "goroutine leak"
+}
+
+// ChannelJoin is the completion-signal idiom: each goroutine sends its
+// result, the launch site receives them all. No findings.
+func ChannelJoin(n int) {
+	results := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			results <- process(i)
+		}(i)
+	}
+	// Join: collecting every result observes every completion.
+	for i := 0; i < n; i++ {
+		<-results
+	}
+}
+
+// WaitGroupPool is the sanctioned worker-pool shape — the near-miss
+// negative: same go statement, but Add/Done/Wait bracket it.
+func WaitGroupPool(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			process(2)
+		}()
+	}
+	wg.Wait()
+}
+
+// worker drains until its context is cancelled — the jobs-manager
+// shape.
+func worker(ctx context.Context, queue chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case j := <-queue:
+			process(j)
+		}
+	}
+}
+
+// ContextBound launches the context-bounded worker: the ctx.Done()
+// select in the body is the supervision.
+func ContextBound(ctx context.Context, queue chan int) {
+	go worker(ctx, queue)
+}
+
+func process(i int) int { return i * 2 }
+
+// SuppressedLeak records a deliberate, documented exception.
+func SuppressedLeak() {
+	//biolint:allow goroutine-discipline fixture demonstrates the escape hatch
+	go spin()
+}
+
+// StaleAllow suppresses nothing: the launch below is joined, so the
+// directive is dead armor the unused-suppression check must flag.
+func StaleAllow() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	//biolint:allow goroutine-discipline joined pool needs no allowance // want "suppresses nothing"
+	go func() {
+		defer wg.Done()
+		process(3)
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,38 @@
+// Package state is a biolint fixture support package: the published-
+// snapshot source the snapshot-mutation and error-envelope rules key
+// on (type named Snapshot in a package path ending internal/state).
+package state
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"fixture.example/internal/corpus"
+	"fixture.example/internal/ontology"
+)
+
+// ErrUnavailable mirrors the real state package's retryable
+// durability error for the error-envelope fixtures.
+var ErrUnavailable = errors.New("state: durable backend unavailable")
+
+// Snapshot is the published, immutable world-state.
+type Snapshot struct {
+	Corpus   *corpus.Corpus
+	Ontology *ontology.Ontology
+	Epoch    uint64
+}
+
+// Store publishes snapshots atomically.
+type Store struct {
+	cur atomic.Pointer[Snapshot]
+}
+
+// Load returns the current published snapshot.
+func (s *Store) Load() *Snapshot {
+	return s.cur.Load()
+}
+
+// Publish installs a new snapshot.
+func (s *Store) Publish(snap *Snapshot) {
+	s.cur.Store(snap)
+}

@@ -412,6 +412,9 @@ func (o *Ontology) Validate() error {
 			queue = append(queue, id)
 		}
 	}
+	// Seed order comes from a map; sort so the traversal (and any
+	// future diagnostics derived from it) is run-independent.
+	sort.Slice(queue, func(i, j int) bool { return queue[i] < queue[j] })
 	processed := 0
 	for len(queue) > 0 {
 		cur := queue[0]

@@ -36,7 +36,7 @@ func setEpochHeader(w http.ResponseWriter, epoch uint64) {
 func (s *Server) resolveEntry(w http.ResponseWriter, name string) (*registry.Entry, bool) {
 	entry, err := s.reg.Resolve(name)
 	if err != nil {
-		errorJSON(w, http.StatusNotFound, err)
+		writeError(w, http.StatusNotFound, err)
 		return nil, false
 	}
 	return entry, true
@@ -76,15 +76,15 @@ func (s *Server) decodeClassifyRequest(w http.ResponseWriter, r *http.Request) (
 	s.limitBody(w, r)
 	var req classifyRequest
 	if err := decodeStrict(r.Body, &req); err != nil {
-		errorJSON(w, decodeStatus(err), fmt.Errorf("decode request: %w", err))
+		writeError(w, decodeStatus(err), fmt.Errorf("decode request: %w", err))
 		return req, false
 	}
 	if req.Text == "" {
-		errorJSON(w, http.StatusBadRequest, fmt.Errorf("text is required"))
+		writeError(w, http.StatusBadRequest, fmt.Errorf("text is required"))
 		return req, false
 	}
 	if req.Top < 0 {
-		errorJSON(w, http.StatusBadRequest, fmt.Errorf("top: must be non-negative, got %d", req.Top))
+		writeError(w, http.StatusBadRequest, fmt.Errorf("top: must be non-negative, got %d", req.Top))
 		return req, false
 	}
 	if req.Top == 0 {
@@ -104,7 +104,7 @@ func (s *Server) classifyEntry(w http.ResponseWriter, r *http.Request, name stri
 	}
 	snap := entry.Snapshot()
 	if req.Epoch != 0 && req.Epoch != snap.Epoch {
-		errorJSON(w, http.StatusConflict,
+		writeError(w, http.StatusConflict,
 			fmt.Errorf("requested epoch %d is stale: ontology %q at epoch %d", req.Epoch, entry.Name, snap.Epoch))
 		return
 	}
@@ -112,10 +112,10 @@ func (s *Server) classifyEntry(w http.ResponseWriter, r *http.Request, name stri
 	res, err := s.classifier.Classify(r.Context(), entry.Name, snap, req.Text, req.Top)
 	if err != nil {
 		if r.Context().Err() != nil {
-			errorJSON(w, runStatus(err), err)
+			writeError(w, runStatus(err), err)
 			return
 		}
-		errorJSON(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	s.opts.Obs.Counter(classify.RequestsMetric, "ontology", entry.Name).Inc()
@@ -148,15 +148,15 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	s.limitBody(w, r)
 	var req recommendRequest
 	if err := decodeStrict(r.Body, &req); err != nil {
-		errorJSON(w, decodeStatus(err), fmt.Errorf("decode request: %w", err))
+		writeError(w, decodeStatus(err), fmt.Errorf("decode request: %w", err))
 		return
 	}
 	if req.Text == "" {
-		errorJSON(w, http.StatusBadRequest, fmt.Errorf("text is required"))
+		writeError(w, http.StatusBadRequest, fmt.Errorf("text is required"))
 		return
 	}
 	if req.Top < 0 || req.Workers < 0 || req.EnrichTop < 0 {
-		errorJSON(w, http.StatusBadRequest, fmt.Errorf("top, workers and enrich_top must be non-negative"))
+		writeError(w, http.StatusBadRequest, fmt.Errorf("top, workers and enrich_top must be non-negative"))
 		return
 	}
 	entries := s.reg.Entries()
@@ -168,10 +168,10 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	scores, err := recommend.Rank(r.Context(), inputs, req.Text, recommend.Options{Workers: s.cfg.Workers})
 	if err != nil {
 		if r.Context().Err() != nil {
-			errorJSON(w, runStatus(err), err)
+			writeError(w, runStatus(err), err)
 			return
 		}
-		errorJSON(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	top := scores[0] // the registry always holds at least the default entry
@@ -192,7 +192,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	// clobbering the interleaved write.
 	entry, ok := s.reg.Get(top.Ontology)
 	if !ok {
-		errorJSON(w, http.StatusInternalServerError, fmt.Errorf("ranked ontology %q vanished", top.Ontology))
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("ranked ontology %q vanished", top.Ontology))
 		return
 	}
 	snap := entry.Snapshot()
@@ -217,11 +217,11 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		switch {
 		case errors.Is(err, jobs.ErrQueueFull):
-			errorJSON(w, http.StatusTooManyRequests, err)
+			writeError(w, http.StatusTooManyRequests, err)
 		case errors.Is(err, jobs.ErrNotStarted):
-			errorJSON(w, http.StatusServiceUnavailable, err)
+			writeError(w, http.StatusServiceUnavailable, err)
 		default:
-			errorJSON(w, http.StatusInternalServerError, err)
+			writeError(w, http.StatusInternalServerError, err)
 		}
 		return
 	}
@@ -287,12 +287,12 @@ func (s *Server) handleOntologySearch(w http.ResponseWriter, r *http.Request) {
 	}
 	q := r.URL.Query().Get("q")
 	if q == "" {
-		errorJSON(w, http.StatusBadRequest, fmt.Errorf("missing ?q=<query>"))
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing ?q=<query>"))
 		return
 	}
 	n, err := intParam(r, "n", 10)
 	if err != nil {
-		errorJSON(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	snap := entry.Snapshot()
@@ -334,28 +334,28 @@ func (s *Server) handleOntologyCreate(w http.ResponseWriter, r *http.Request) {
 	s.limitBody(w, r)
 	var req createOntologyRequest
 	if err := decodeStrict(r.Body, &req); err != nil {
-		errorJSON(w, decodeStatus(err), fmt.Errorf("decode request: %w", err))
+		writeError(w, decodeStatus(err), fmt.Errorf("decode request: %w", err))
 		return
 	}
 	if !registry.ValidName(req.Name) {
-		errorJSON(w, http.StatusBadRequest,
+		writeError(w, http.StatusBadRequest,
 			fmt.Errorf("name %q: want 1-64 chars of [A-Za-z0-9._-]", req.Name))
 		return
 	}
 	if len(req.Concepts) == 0 {
-		errorJSON(w, http.StatusBadRequest, fmt.Errorf("at least one concept is required"))
+		writeError(w, http.StatusBadRequest, fmt.Errorf("at least one concept is required"))
 		return
 	}
 
 	o := ontology.New(req.Name)
 	for _, c := range req.Concepts {
 		if _, err := o.AddConcept(c.ID, c.Preferred); err != nil {
-			errorJSON(w, http.StatusBadRequest, fmt.Errorf("concept %q: %w", c.ID, err))
+			writeError(w, http.StatusBadRequest, fmt.Errorf("concept %q: %w", c.ID, err))
 			return
 		}
 		for _, syn := range c.Synonyms {
 			if err := o.AddSynonym(c.ID, syn); err != nil {
-				errorJSON(w, http.StatusBadRequest, fmt.Errorf("concept %q synonym %q: %w", c.ID, syn, err))
+				writeError(w, http.StatusBadRequest, fmt.Errorf("concept %q synonym %q: %w", c.ID, syn, err))
 				return
 			}
 		}
@@ -365,13 +365,13 @@ func (s *Server) handleOntologyCreate(w http.ResponseWriter, r *http.Request) {
 	for _, c := range req.Concepts {
 		for _, p := range c.Parents {
 			if err := o.SetParent(c.ID, p); err != nil {
-				errorJSON(w, http.StatusBadRequest, fmt.Errorf("concept %q parent %q: %w", c.ID, p, err))
+				writeError(w, http.StatusBadRequest, fmt.Errorf("concept %q parent %q: %w", c.ID, p, err))
 				return
 			}
 		}
 	}
 	if err := o.Validate(); err != nil {
-		errorJSON(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 
@@ -382,7 +382,7 @@ func (s *Server) handleOntologyCreate(w http.ResponseWriter, r *http.Request) {
 	if s.opts.OpenEntryBackend != nil {
 		d, err := s.opts.OpenEntryBackend(req.Name, st.Load())
 		if err != nil {
-			errorJSON(w, http.StatusInternalServerError, fmt.Errorf("open durability backend: %w", err))
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("open durability backend: %w", err))
 			return
 		}
 		st.SetDurable(d)
@@ -390,10 +390,10 @@ func (s *Server) handleOntologyCreate(w http.ResponseWriter, r *http.Request) {
 	entry, err := s.reg.Add(req.Name, st)
 	if err != nil {
 		if errors.Is(err, registry.ErrExists) {
-			errorJSON(w, http.StatusConflict, err)
+			writeError(w, http.StatusConflict, err)
 			return
 		}
-		errorJSON(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	w.Header().Set("Location", "/v1/ontologies/"+entry.Name)

@@ -446,9 +446,9 @@ func codeForStatus(status int) string {
 	return "internal"
 }
 
-// errorJSON reports an error in the uniform envelope, deriving the
+// writeError reports an error in the uniform envelope, deriving the
 // code from the status.
-func errorJSON(w http.ResponseWriter, code int, err error) {
+func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, errorEnvelope{errorDetail{Code: codeForStatus(code), Message: err.Error()}})
 }
 
@@ -502,7 +502,7 @@ func (s *Server) handleOntologyStats(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleOntologyTermPath(w http.ResponseWriter, r *http.Request) {
 	term := r.PathValue("term")
 	if term == "" {
-		errorJSON(w, http.StatusBadRequest, fmt.Errorf("missing term path segment"))
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing term path segment"))
 		return
 	}
 	s.renderOntologyTerm(w, term)
@@ -513,7 +513,7 @@ func (s *Server) handleOntologyTermPath(w http.ResponseWriter, r *http.Request) 
 func (s *Server) handleOntologyTermQuery(w http.ResponseWriter, r *http.Request) {
 	term := r.URL.Query().Get("t")
 	if term == "" {
-		errorJSON(w, http.StatusBadRequest, fmt.Errorf("missing ?t=<term>"))
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing ?t=<term>"))
 		return
 	}
 	s.renderOntologyTerm(w, term)
@@ -525,7 +525,7 @@ func (s *Server) renderOntologyTerm(w http.ResponseWriter, term string) {
 	setEpochHeader(w, snap.Epoch)
 	ids := o.ConceptsForTerm(term)
 	if len(ids) == 0 {
-		errorJSON(w, http.StatusNotFound, fmt.Errorf("term %q not in ontology", term))
+		writeError(w, http.StatusNotFound, fmt.Errorf("term %q not in ontology", term))
 		return
 	}
 	type conceptView struct {
@@ -554,12 +554,12 @@ func (s *Server) renderOntologyTerm(w http.ResponseWriter, term string) {
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
 	if q == "" {
-		errorJSON(w, http.StatusBadRequest, fmt.Errorf("missing ?q=<query>"))
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing ?q=<query>"))
 		return
 	}
 	n, err := intParam(r, "n", 10)
 	if err != nil {
-		errorJSON(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	snap := s.snapshot()
@@ -578,7 +578,7 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	}
 	top, err := intParam(r, "top", 20)
 	if err != nil {
-		errorJSON(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	snap := s.snapshot()
@@ -586,7 +586,7 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	ext.LearnPatterns(snap.Ontology.Terms())
 	ranked, err := ext.Rank(measure, top)
 	if err != nil {
-		errorJSON(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	if ranked == nil {
@@ -598,7 +598,7 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSenses(w http.ResponseWriter, r *http.Request) {
 	term := r.URL.Query().Get("term")
 	if term == "" {
-		errorJSON(w, http.StatusBadRequest, fmt.Errorf("missing ?term="))
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing ?term="))
 		return
 	}
 	in := senseind.New()
@@ -614,7 +614,7 @@ func (s *Server) handleSenses(w http.ResponseWriter, r *http.Request) {
 	polysemic := r.URL.Query().Get("monosemic") == ""
 	res, err := in.Induce(s.snapshot().Corpus, term, polysemic)
 	if err != nil {
-		errorJSON(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -623,22 +623,22 @@ func (s *Server) handleSenses(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleLink(w http.ResponseWriter, r *http.Request) {
 	term := r.URL.Query().Get("term")
 	if term == "" {
-		errorJSON(w, http.StatusBadRequest, fmt.Errorf("missing ?term="))
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing ?term="))
 		return
 	}
 	top, err := intParam(r, "top", 10)
 	if err != nil {
-		errorJSON(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	snap := s.snapshot()
 	props, err := linkage.New(snap.Corpus, snap.Ontology, linkage.DefaultOptions()).ProposeContext(r.Context(), term, top)
 	if err != nil {
 		if r.Context().Err() != nil {
-			errorJSON(w, runStatus(err), err)
+			writeError(w, runStatus(err), err)
 			return
 		}
-		errorJSON(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	if props == nil {
@@ -683,23 +683,23 @@ func (s *Server) ingestDocuments(w http.ResponseWriter, r *http.Request, entry *
 	s.limitBody(w, r)
 	var docs []corpus.Document
 	if err := decodeStrict(r.Body, &docs); err != nil {
-		errorJSON(w, decodeStatus(err), fmt.Errorf("decode documents: %w", err))
+		writeError(w, decodeStatus(err), fmt.Errorf("decode documents: %w", err))
 		return
 	}
 	if len(docs) == 0 {
-		errorJSON(w, http.StatusBadRequest, fmt.Errorf("no documents"))
+		writeError(w, http.StatusBadRequest, fmt.Errorf("no documents"))
 		return
 	}
 	for i, d := range docs {
 		if strings.TrimSpace(d.Title) == "" && strings.TrimSpace(d.Text) == "" {
-			errorJSON(w, http.StatusBadRequest,
+			writeError(w, http.StatusBadRequest,
 				fmt.Errorf("document %d (id %q): empty title and text", i, d.ID))
 			return
 		}
 	}
 	next, err := entry.Ingest(r.Context(), docs)
 	if err != nil {
-		errorJSON(w, ingestStatus(err), err)
+		writeError(w, ingestStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"docs": next.Corpus.NumDocs(), "epoch": next.Epoch})
@@ -710,7 +710,7 @@ func (s *Server) ingestDocuments(w http.ResponseWriter, r *http.Request, entry *
 func (s *Server) handleRelations(w http.ResponseWriter, r *http.Request) {
 	top, err := intParam(r, "top", 20)
 	if err != nil {
-		errorJSON(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	snap := s.snapshot()
@@ -735,22 +735,22 @@ func (s *Server) handleDisambiguate(w http.ResponseWriter, r *http.Request) {
 	s.limitBody(w, r)
 	var req disambiguateRequest
 	if err := decodeStrict(r.Body, &req); err != nil {
-		errorJSON(w, decodeStatus(err), fmt.Errorf("decode request: %w", err))
+		writeError(w, decodeStatus(err), fmt.Errorf("decode request: %w", err))
 		return
 	}
 	if req.Term == "" || len(req.Context) == 0 {
-		errorJSON(w, http.StatusBadRequest, fmt.Errorf("term and context are required"))
+		writeError(w, http.StatusBadRequest, fmt.Errorf("term and context are required"))
 		return
 	}
 	in := senseind.New()
 	res, err := in.Induce(s.snapshot().Corpus, req.Term, true)
 	if err != nil {
-		errorJSON(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	d, err := senseind.NewDisambiguator(res, in.Representation)
 	if err != nil {
-		errorJSON(w, http.StatusInternalServerError, err)
+		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	sense, sim := d.Disambiguate(req.Context)
@@ -811,15 +811,15 @@ func (s *Server) decodeEnrichRequest(w http.ResponseWriter, r *http.Request) (en
 	s.limitBody(w, r)
 	var req enrichRequest
 	if err := decodeStrict(r.Body, &req); err != nil && !errors.Is(err, io.EOF) {
-		errorJSON(w, decodeStatus(err), fmt.Errorf("decode request: %w", err))
+		writeError(w, decodeStatus(err), fmt.Errorf("decode request: %w", err))
 		return req, false
 	}
 	if req.Top < 0 {
-		errorJSON(w, http.StatusBadRequest, fmt.Errorf("top: must be non-negative, got %d", req.Top))
+		writeError(w, http.StatusBadRequest, fmt.Errorf("top: must be non-negative, got %d", req.Top))
 		return req, false
 	}
 	if req.Workers < 0 {
-		errorJSON(w, http.StatusBadRequest, fmt.Errorf("workers: must be non-negative, got %d", req.Workers))
+		writeError(w, http.StatusBadRequest, fmt.Errorf("workers: must be non-negative, got %d", req.Workers))
 		return req, false
 	}
 	if req.Top == 0 {
@@ -888,7 +888,7 @@ func (s *Server) handleEnrich(w http.ResponseWriter, r *http.Request) {
 	}
 	snap := s.snapshot()
 	if req.Epoch != 0 && req.Epoch != snap.Epoch {
-		errorJSON(w, http.StatusConflict,
+		writeError(w, http.StatusConflict,
 			fmt.Errorf("requested epoch %d is stale: store at epoch %d", req.Epoch, snap.Epoch))
 		return
 	}
@@ -902,7 +902,7 @@ func (s *Server) handleEnrich(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := s.runEnrich(ctx, s.state, snap, req)
 	if err != nil {
-		errorJSON(w, runStatus(err), err)
+		writeError(w, runStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -976,7 +976,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	snap := s.snapshot()
 	if req.Epoch != 0 && req.Epoch != snap.Epoch {
-		errorJSON(w, http.StatusConflict,
+		writeError(w, http.StatusConflict,
 			fmt.Errorf("requested epoch %d is stale: store at epoch %d", req.Epoch, snap.Epoch))
 		return
 	}
@@ -992,11 +992,11 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		switch {
 		case errors.Is(err, jobs.ErrQueueFull):
-			errorJSON(w, http.StatusTooManyRequests, err)
+			writeError(w, http.StatusTooManyRequests, err)
 		case errors.Is(err, jobs.ErrNotStarted):
-			errorJSON(w, http.StatusServiceUnavailable, err)
+			writeError(w, http.StatusServiceUnavailable, err)
 		default:
-			errorJSON(w, http.StatusInternalServerError, err)
+			writeError(w, http.StatusInternalServerError, err)
 		}
 		return
 	}
@@ -1017,7 +1017,7 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	j, ok := s.jobs.Get(id)
 	if !ok {
-		errorJSON(w, http.StatusNotFound, fmt.Errorf("job %q not found", id))
+		writeError(w, http.StatusNotFound, fmt.Errorf("job %q not found", id))
 		return
 	}
 	writeJSON(w, http.StatusOK, jobView(j))
@@ -1028,13 +1028,13 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	j, err := s.jobs.Cancel(id)
 	switch {
 	case errors.Is(err, jobs.ErrNotFound):
-		errorJSON(w, http.StatusNotFound, fmt.Errorf("job %q not found", id))
+		writeError(w, http.StatusNotFound, fmt.Errorf("job %q not found", id))
 		return
 	case errors.Is(err, jobs.ErrFinished):
-		errorJSON(w, http.StatusConflict, fmt.Errorf("job %q already finished (%s)", id, j.Status))
+		writeError(w, http.StatusConflict, fmt.Errorf("job %q already finished (%s)", id, j.Status))
 		return
 	case err != nil:
-		errorJSON(w, http.StatusInternalServerError, err)
+		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, jobView(j))
