@@ -7,10 +7,12 @@
 #   make fuzz-smoke   10s native-fuzz pass over the tokenizer and corpus reader
 #   make bench    full benchmark sweep -> BENCH_<timestamp>.json
 #   make bench-enricher   just the worker-pool speedup pair
+#   make bench-load       HTTP load grid (scripts/paper) -> BENCH_loadgen.json
+#   make bench-load-smoke CI-sized load grid over tiny corpora
 
 GO ?= go
 
-.PHONY: verify build vet test race race-gate-check lint lint-bench fuzz-smoke staticcheck bench bench-enricher bench-ingest restart-test
+.PHONY: verify build vet test race race-gate-check lint lint-bench fuzz-smoke staticcheck bench bench-enricher bench-ingest bench-load bench-load-smoke restart-test
 
 build:
 	$(GO) build ./...
@@ -34,7 +36,7 @@ test:
 # gate, and scripts/race_gate_check.sh proves this list plus its
 # documented exemptions cover ./internal/... exactly.
 race:
-	$(GO) test -race ./internal/core ./internal/server ./internal/linkage ./internal/obs ./internal/senseind ./internal/state ./internal/jobs ./internal/storage ./internal/registry ./internal/classify ./internal/recommend ./internal/batch ./internal/corpus ./internal/lint
+	$(GO) test -race ./internal/core ./internal/server ./internal/linkage ./internal/obs ./internal/senseind ./internal/state ./internal/jobs ./internal/storage ./internal/registry ./internal/classify ./internal/recommend ./internal/batch ./internal/corpus ./internal/lint ./internal/loadtest
 
 race-gate-check:
 	./scripts/race_gate_check.sh
@@ -98,3 +100,15 @@ bench-enricher:
 
 bench-ingest:
 	$(GO) test -run '^$$' -bench 'BenchmarkIngestThroughput' -benchmem .
+
+# Scale proof: the full experiment grid (scripts/paper/experiments.json
+# — corpora x concurrency x workload mixes, each cell a fresh serve
+# boot measured by cmd/loadgen). Emits per-cell CSVs, summary tables
+# and the top-level BENCH_loadgen.json performance-trajectory record.
+# The smoke variant is the same harness on tiny corpora and short
+# cells; CI runs it and uploads BENCH_loadgen.json as an artifact.
+bench-load:
+	./scripts/paper/run_all.sh
+
+bench-load-smoke:
+	./scripts/paper/run_all.sh scripts/paper/experiments_smoke.json bench/loadgen-smoke

@@ -1,0 +1,166 @@
+// Command loadgen is the repo's HTTP load generator: it drives a
+// configurable mix of /v1 traffic (search, classify, recommend,
+// document ingest, async enrich jobs with polling) against a live
+// bioenrich server and reports per-endpoint throughput, latency
+// quantiles and error counts as deterministic-shaped JSON.
+//
+// Single-run mode measures one (concurrency, mix, duration) point
+// against an already-running server:
+//
+//	loadgen -base-url http://127.0.0.1:8080 \
+//	        [-c 8] [-rate 0] [-duration 10s] [-max-requests 0] \
+//	        [-mix "search=50,classify=25,recommend=10,ingest=10,enrich=5"] \
+//	        [-seed 42] [-vocab 400] [-timeout 30s] [-csv out.csv]
+//
+// -c sets closed-loop worker count; -rate > 0 switches to open-loop
+// pacing at that many requests/second overall (dropped issue slots are
+// reported when the server can't keep up). -seed makes the offered
+// traffic reproducible: same seed, same op sequence and payloads.
+// The run waits on GET /v1/ready first, so pointing loadgen at a
+// still-booting server measures steady state, not boot noise.
+//
+// Grid mode reproduces the scripts/paper experiment sweep: it reads an
+// experiments.json (corpora × concurrency × mixes, see
+// scripts/paper/experiments.json), generates each synthetic corpus,
+// boots a fresh cmd/serve per cell, and emits per-cell CSVs plus
+// BENCH_loadgen.json and summary tables under -out:
+//
+//	loadgen -grid scripts/paper/experiments.json \
+//	        -serve-bin bin/serve [-out bench/loadgen]
+//
+// Both modes stamp the generator's build identity (module version, go
+// version, VCS revision) into their output; grid mode also records the
+// server's via GET /v1/version.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"bioenrich/internal/buildinfo"
+	"bioenrich/internal/loadtest"
+)
+
+func main() {
+	baseURL := flag.String("base-url", "", "server root, e.g. http://127.0.0.1:8080 (single-run mode)")
+	conc := flag.Int("c", 8, "closed-loop worker count (each keeps one request in flight)")
+	rate := flag.Float64("rate", 0, "open-loop target requests/second overall (0 = closed loop)")
+	duration := flag.Duration("duration", 10*time.Second, "measured run length")
+	maxRequests := flag.Int64("max-requests", 0, "additional cap on issued mix ops (0 = duration-bound only)")
+	mixSpec := flag.String("mix", loadtest.DefaultMix().String(), "workload mix as op=weight[,op=weight...]")
+	seed := flag.Int64("seed", 42, "seed for op sequence and payloads")
+	vocab := flag.Int("vocab", 400, "generator vocabulary size (match the corpus seed for realistic hit rates)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	csvPath := flag.String("csv", "", "also write the per-endpoint summary as CSV to this file")
+	gridPath := flag.String("grid", "", "grid mode: path to an experiments.json sweep config")
+	serveBin := flag.String("serve-bin", "", "grid mode: path to a built cmd/serve binary")
+	outDir := flag.String("out", "bench/loadgen", "grid mode: output directory (corpora, logs, cells, BENCH_loadgen.json)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	if *gridPath != "" {
+		if err := runGrid(ctx, *gridPath, *serveBin, *outDir); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *baseURL == "" {
+		fatal(fmt.Errorf("one of -base-url (single run) or -grid (sweep) is required"))
+	}
+	mix, err := loadtest.ParseMix(*mixSpec)
+	if err != nil {
+		fatal(err)
+	}
+
+	readyCtx, cancel := context.WithTimeout(ctx, time.Minute)
+	err = loadtest.WaitReady(readyCtx, nil, *baseURL, 100*time.Millisecond)
+	cancel()
+	if err != nil {
+		fatal(err)
+	}
+
+	res, err := loadtest.Run(ctx, loadtest.Options{
+		BaseURL:     *baseURL,
+		Concurrency: *conc,
+		Rate:        *rate,
+		Duration:    *duration,
+		MaxRequests: *maxRequests,
+		Mix:         mix,
+		Seed:        *seed,
+		VocabSize:   *vocab,
+		Timeout:     *timeout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	record := &loadtest.BenchRecord{
+		Schema:      loadtest.BenchSchema,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Build:       buildinfo.Read(),
+		Cells: []loadtest.Cell{{
+			Name:        "single",
+			Concurrency: *conc,
+			RateTarget:  *rate,
+			Mix:         mix.String(),
+			Seed:        *seed,
+			Summary:     res.Summary,
+		}},
+	}
+	raw, err := record.EncodeIndented()
+	if err != nil {
+		fatal(err)
+	}
+	os.Stdout.Write(raw)
+	if res.DroppedSlots > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %d open-loop issue slots dropped (offered rate exceeded capacity)\n", res.DroppedSlots)
+	}
+	if *csvPath != "" {
+		var b strings.Builder
+		b.WriteString(loadtest.CSVHeader + "\n")
+		for _, e := range res.Summary.Endpoints {
+			b.WriteString(loadtest.CSVRow(e) + "\n")
+		}
+		if err := os.WriteFile(*csvPath, []byte(b.String()), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func runGrid(ctx context.Context, gridPath, serveBin, outDir string) error {
+	if serveBin == "" {
+		return fmt.Errorf("-grid requires -serve-bin (path to a built cmd/serve)")
+	}
+	if _, err := os.Stat(serveBin); err != nil {
+		return fmt.Errorf("-serve-bin: %w", err)
+	}
+	cfg, err := loadtest.LoadGridConfig(gridPath)
+	if err != nil {
+		return err
+	}
+	_, err = loadtest.RunGrid(ctx, loadtest.GridOptions{
+		Config:      cfg,
+		ServeBin:    serveBin,
+		OutDir:      outDir,
+		Log:         os.Stderr,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: grid complete; outputs under %s\n", outDir)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}

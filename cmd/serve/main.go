@@ -6,7 +6,7 @@
 //
 //	serve -corpus data/corpus.json -ontology data/ontology.json \
 //	      [-ontology-entry name=corpus.json,ontology.json ...] \
-//	      [-addr :8080] [-workers N] [-shutdown-timeout 10s] \
+//	      [-addr :8080] [-addr-file path] [-workers N] [-shutdown-timeout 10s] \
 //	      [-enrich-timeout 2m] [-metrics=true] [-pprof] \
 //	      [-log-level info] [-max-body 8388608] \
 //	      [-job-queue 16] [-job-workers 1] [-job-ttl 15m] \
@@ -175,6 +175,7 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 0, "write a full segment every N ingest batches, bounding boot replay (0 = default 256, negative = never automatically)")
 	ingestBatchSize := flag.Int("ingest-batch-size", 0, "max documents per ingest group commit (0 = default 256)")
 	ingestBatchWait := flag.Duration("ingest-batch-wait", 0, "how long to hold an open ingest group for more requests (0 = commit as soon as the committer is free)")
+	addrFile := flag.String("addr-file", "", "write the resolved listen address (host:port) to this file once listening; lets tooling discover a kernel-assigned :0 port without parsing logs")
 	var entries entryFlags
 	flag.Var(&entries, "ontology-entry", "additional hosted ontology as name=corpus.json,ontology.json (repeatable); served at /v1/ontologies/{name}")
 	flag.Parse()
@@ -339,6 +340,13 @@ func main() {
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(logger, "listen", err)
+	}
+	if *addrFile != "" {
+		// Tooling (scripts/paper, cmd/loadgen's grid mode) polls this
+		// file to find the port when -addr was ":0".
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			fatal(logger, "write addr-file", err)
+		}
 	}
 
 	errc := make(chan error, 1)

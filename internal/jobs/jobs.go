@@ -281,6 +281,45 @@ func (m *Manager) List() []Job {
 	return out
 }
 
+// ValidStatus reports whether s is one of the five lifecycle states —
+// the HTTP layer validates ?status= filters against it so a typo is a
+// 400, not an empty page.
+func ValidStatus(s Status) bool {
+	switch s {
+	case StatusQueued, StatusRunning, StatusDone, StatusFailed, StatusCancelled:
+		return true
+	}
+	return false
+}
+
+// Page returns up to limit retained jobs with ID strictly after the
+// `after` cursor, in ascending ID order, optionally filtered to one
+// status ("" keeps all), plus whether more matching jobs remain past
+// the returned page. Job IDs are zero-padded sequence numbers, so ID
+// order is submission order and an `after` cursor naming a job that
+// has since been swept by TTL GC still resumes at exactly the right
+// position — the cursor is a position in the ID space, not a reference
+// that can dangle. limit <= 0 means no bound.
+func (m *Manager) Page(after string, limit int, status Status) ([]Job, bool) {
+	m.mu.Lock()
+	matched := make([]Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		if j.ID <= after {
+			continue
+		}
+		if status != "" && j.Status != status {
+			continue
+		}
+		matched = append(matched, j.Job)
+	}
+	m.mu.Unlock()
+	sort.Slice(matched, func(i, k int) bool { return matched[i].ID < matched[k].ID })
+	if limit > 0 && len(matched) > limit {
+		return matched[:limit], true
+	}
+	return matched, false
+}
+
 // Cancel requests cancellation of id. A queued job is marked
 // cancelled immediately (the worker will skip it); a running job has
 // its context cancelled and reaches the cancelled status when its Fn

@@ -24,6 +24,7 @@ var pipelineRoots = []string{
 	"experiments", // paper-table experiment harness
 	"registry",    // multi-ontology snapshot writer
 	"batch",       // group-commit snapshot writer
+	"loadtest",    // load-harness summaries feed BENCH_loadgen.json
 }
 
 // pipelinePackages names the packages under the determinism gate.
@@ -53,6 +54,8 @@ var pipelinePackages = map[string]bool{
 	"postag":      true,
 	"relext":      true,
 	"textutil":    true,
+	"loadtest":    true,
+	"buildinfo":   true,
 }
 
 // pipelineExempt names report-reachable internal packages that are

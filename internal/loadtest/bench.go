@@ -1,0 +1,133 @@
+package loadtest
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"bioenrich/internal/buildinfo"
+)
+
+// BenchSchema identifies the BENCH_loadgen.json record format.
+const BenchSchema = "bioenrich/loadgen/v1"
+
+// Cell is one measured grid cell: a (corpus scale, concurrency, mix)
+// point and its summary.
+type Cell struct {
+	Name        string  `json:"name"`
+	Corpus      string  `json:"corpus"`
+	Docs        int     `json:"docs"`
+	Concepts    int     `json:"concepts"`
+	Concurrency int     `json:"concurrency"`
+	RateTarget  float64 `json:"rate_target,omitempty"`
+	Mix         string  `json:"mix"`
+	Seed        int64   `json:"seed"`
+	Summary     Summary `json:"summary"`
+}
+
+// BenchRecord is the top-level BENCH_loadgen.json document: which
+// build produced the numbers, which build served them, and the
+// per-cell results. Successive records form the repo's recorded
+// performance trajectory — every later speed claim diffs against one.
+type BenchRecord struct {
+	Schema string `json:"schema"`
+	// GeneratedAt is stamped by the caller (cmd/loadgen) — this
+	// package stays wall-clock-free outside obs.Now instrumentation.
+	GeneratedAt string          `json:"generated_at,omitempty"`
+	Grid        string          `json:"grid,omitempty"`
+	Build       buildinfo.Info  `json:"build"`
+	Server      *buildinfo.Info `json:"server,omitempty"`
+	Cells       []Cell          `json:"cells"`
+}
+
+// EncodeIndented renders the record as stable, diff-friendly JSON
+// (two-space indent, trailing newline).
+func (r *BenchRecord) EncodeIndented() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WaitReady polls GET /v1/ready until it answers 200 or ctx expires —
+// the boot barrier load tooling uses instead of sleeping an arbitrary
+// grace period. The server answers 503 while booting and nothing at
+// all before its listener is up; both simply mean "poll again".
+func WaitReady(ctx context.Context, client *http.Client, baseURL string, interval time.Duration) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/ready", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("server at %s not ready: %w", baseURL, ctx.Err())
+		case <-t.C:
+		}
+	}
+}
+
+// FetchVersion reads the server's build identity from GET
+// /v1/version, so BENCH records carry both the generator's and the
+// server's provenance. A pre-version-endpoint server yields an error;
+// callers may treat that as "unknown" rather than fatal.
+func FetchVersion(ctx context.Context, client *http.Client, baseURL string) (buildinfo.Info, error) {
+	var info buildinfo.Info
+	err := getJSON(ctx, client, baseURL+"/v1/version", &info)
+	return info, err
+}
+
+// Health is the subset of GET /v1/health the harness records per cell.
+type Health struct {
+	Docs     int    `json:"docs"`
+	Concepts int    `json:"concepts"`
+	Epoch    uint64 `json:"epoch"`
+}
+
+// FetchHealth reads corpus scale and epoch from GET /v1/health.
+func FetchHealth(ctx context.Context, client *http.Client, baseURL string) (Health, error) {
+	var h Health
+	err := getJSON(ctx, client, baseURL+"/v1/health", &h)
+	return h, err
+}
+
+func getJSON(ctx context.Context, client *http.Client, url string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}

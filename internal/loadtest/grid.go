@@ -1,0 +1,479 @@
+package loadtest
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"bioenrich/internal/buildinfo"
+	"bioenrich/internal/synth"
+)
+
+// CorpusSpec scales one synthetic corpus: gencorpus's knobs. Docs is
+// documents per concept; total corpus size grows with
+// branches·depth·docs.
+type CorpusSpec struct {
+	Name     string `json:"name"`
+	Branches int    `json:"branches"`
+	Depth    int    `json:"depth"`
+	Docs     int    `json:"docs"`
+}
+
+// MixSpec names one workload blend of the grid.
+type MixSpec struct {
+	Name string `json:"name"`
+	Spec string `json:"spec"`
+}
+
+// GridConfig is the parsed scripts/paper/experiments.json: the full
+// sweep is corpora × concurrency × mixes (× rates when set).
+type GridConfig struct {
+	Name string `json:"name"`
+	Seed int64  `json:"seed"`
+	// Duration / Warmup are per-cell measured / discarded spans
+	// ("8s", "2s").
+	Duration string `json:"duration"`
+	Warmup   string `json:"warmup"`
+	// Vocab is the generator vocabulary size shared by every cell.
+	Vocab int `json:"vocab"`
+	// ServeArgs are extra cmd/serve flags for every boot
+	// (e.g. ["-job-workers","2"]).
+	ServeArgs   []string     `json:"serve_args"`
+	Corpora     []CorpusSpec `json:"corpora"`
+	Concurrency []int        `json:"concurrency"`
+	// Rates, when non-empty, adds an open-loop axis; 0 means
+	// closed-loop. Empty means closed-loop only.
+	Rates []float64 `json:"rates"`
+	Mixes []MixSpec `json:"mixes"`
+
+	duration, warmup time.Duration
+	mixes            []Mix
+}
+
+// LoadGridConfig reads and validates an experiments.json.
+func LoadGridConfig(path string) (*GridConfig, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cfg GridConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if cfg.Name == "" {
+		cfg.Name = strings.TrimSuffix(filepath.Base(path), ".json")
+	}
+	if cfg.Duration == "" {
+		cfg.Duration = "5s"
+	}
+	if cfg.duration, err = time.ParseDuration(cfg.Duration); err != nil {
+		return nil, fmt.Errorf("%s: duration: %w", path, err)
+	}
+	if cfg.Warmup != "" {
+		if cfg.warmup, err = time.ParseDuration(cfg.Warmup); err != nil {
+			return nil, fmt.Errorf("%s: warmup: %w", path, err)
+		}
+	}
+	if len(cfg.Corpora) == 0 || len(cfg.Concurrency) == 0 || len(cfg.Mixes) == 0 {
+		return nil, fmt.Errorf("%s: corpora, concurrency and mixes must all be non-empty", path)
+	}
+	for _, c := range cfg.Corpora {
+		if c.Name == "" || c.Branches <= 0 || c.Depth <= 0 || c.Docs <= 0 {
+			return nil, fmt.Errorf("%s: corpus spec %+v: name/branches/depth/docs all required", path, c)
+		}
+	}
+	for _, n := range cfg.Concurrency {
+		if n <= 0 {
+			return nil, fmt.Errorf("%s: concurrency values must be positive", path)
+		}
+	}
+	cfg.mixes = make([]Mix, len(cfg.Mixes))
+	for i, ms := range cfg.Mixes {
+		if ms.Name == "" {
+			return nil, fmt.Errorf("%s: mix %d: name required", path, i)
+		}
+		if cfg.mixes[i], err = ParseMix(ms.Spec); err != nil {
+			return nil, fmt.Errorf("%s: mix %q: %w", path, ms.Name, err)
+		}
+	}
+	if len(cfg.Rates) == 0 {
+		cfg.Rates = []float64{0}
+	}
+	return &cfg, nil
+}
+
+// Cells returns the total cell count of the sweep.
+func (c *GridConfig) Cells() int {
+	return len(c.Corpora) * len(c.Concurrency) * len(c.Mixes) * len(c.Rates)
+}
+
+// GridOptions configures one RunGrid invocation.
+type GridOptions struct {
+	Config *GridConfig
+	// ServeBin is the path to a built cmd/serve binary.
+	ServeBin string
+	// OutDir receives corpora/, logs/, cells/*.csv, summary.csv,
+	// summary.md and BENCH_loadgen.json.
+	OutDir string
+	// Log receives progress lines (nil = discarded).
+	Log io.Writer
+	// GeneratedAt stamps the BENCH record (caller-supplied timestamp;
+	// this package reads no wall clock outside obs instrumentation).
+	GeneratedAt string
+}
+
+// RunGrid executes the full sweep: per corpus spec it generates the
+// synthetic corpus+ontology once, then per (mix, concurrency, rate)
+// cell boots a fresh cmd/serve on it, waits for /v1/ready, runs an
+// optional warmup plus the measured window, and writes the per-cell
+// CSV. A fresh server per cell means every cell starts from the same
+// on-disk corpus — earlier cells' ingested documents don't leak into
+// later measurements. Returns the assembled BENCH record (also
+// written to OutDir) after emitting summary tables.
+func RunGrid(ctx context.Context, opts GridOptions) (*BenchRecord, error) {
+	cfg := opts.Config
+	logf := func(format string, args ...any) {
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, format+"\n", args...)
+		}
+	}
+	for _, dir := range []string{"corpora", "logs", "cells"} {
+		if err := os.MkdirAll(filepath.Join(opts.OutDir, dir), 0o755); err != nil {
+			return nil, err
+		}
+	}
+
+	record := &BenchRecord{
+		Schema:      BenchSchema,
+		GeneratedAt: opts.GeneratedAt,
+		Grid:        cfg.Name,
+		Build:       buildinfo.Read(),
+		Cells:       make([]Cell, 0, cfg.Cells()),
+	}
+
+	cellIdx, total := 0, cfg.Cells()
+	for _, spec := range cfg.Corpora {
+		corpusPath, ontPath, err := generateCorpus(opts.OutDir, cfg.Seed, spec)
+		if err != nil {
+			return nil, fmt.Errorf("generate corpus %q: %w", spec.Name, err)
+		}
+		logf("corpus %s: generated (branches=%d depth=%d docs/concept=%d)",
+			spec.Name, spec.Branches, spec.Depth, spec.Docs)
+		for _, ms := range cfg.Mixes {
+			mixIdx := mixIndex(cfg, ms.Name)
+			for _, conc := range cfg.Concurrency {
+				for _, rate := range cfg.Rates {
+					cellIdx++
+					name := cellName(spec.Name, ms.Name, conc, rate)
+					logf("[%d/%d] %s: booting server", cellIdx, total, name)
+					cell, serverInfo, err := runCell(ctx, opts, spec, ms.Name, cfg.mixes[mixIdx], conc, rate, corpusPath, ontPath, name)
+					if err != nil {
+						return nil, fmt.Errorf("cell %s: %w", name, err)
+					}
+					record.Cells = append(record.Cells, *cell)
+					if record.Server == nil && serverInfo != nil {
+						// Stamped once: every cell runs the same binary.
+						record.Server = serverInfo
+					}
+					logf("[%d/%d] %s: %.0f req/s, %d reqs, %d errors",
+						cellIdx, total, name, cell.Summary.ReqPerSec,
+						cell.Summary.TotalRequests, cell.Summary.TotalErrors)
+				}
+			}
+		}
+	}
+
+	if err := writeOutputs(opts.OutDir, record); err != nil {
+		return nil, err
+	}
+	return record, nil
+}
+
+func mixIndex(cfg *GridConfig, name string) int {
+	for i, ms := range cfg.Mixes {
+		if ms.Name == name {
+			return i
+		}
+	}
+	return 0
+}
+
+func cellName(corpus, mix string, conc int, rate float64) string {
+	name := fmt.Sprintf("%s_%s_c%d", corpus, mix, conc)
+	if rate > 0 {
+		name += fmt.Sprintf("_r%g", rate)
+	}
+	return name
+}
+
+// generateCorpus writes spec's synthetic corpus and ontology under
+// outDir/corpora/<name>/, mirroring cmd/gencorpus's seed derivation
+// (mesh at seed, corpus at seed+1) so loadgen's query vocabulary —
+// drawn from the same word generator at the same seed — overlaps the
+// corpus vocabulary.
+func generateCorpus(outDir string, seed int64, spec CorpusSpec) (corpusPath, ontPath string, err error) {
+	dir := filepath.Join(outDir, "corpora", spec.Name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", "", err
+	}
+	mopts := synth.DefaultMeshOptions()
+	mopts.Seed = seed
+	mopts.Branches = spec.Branches
+	mopts.Depth = spec.Depth
+	mesh := synth.GenerateMesh(mopts)
+	copts := synth.DefaultCorpusOptions()
+	copts.Seed = seed + 1
+	copts.DocsPerConcept = spec.Docs
+	corp := synth.GenerateMeshCorpus(mesh, copts)
+
+	ontPath = filepath.Join(dir, "ontology.json")
+	if err := mesh.Ontology.Save(ontPath); err != nil {
+		return "", "", err
+	}
+	corpusPath = filepath.Join(dir, "corpus.json")
+	if err := corp.Save(corpusPath); err != nil {
+		return "", "", err
+	}
+	return corpusPath, ontPath, nil
+}
+
+// serveProc is one booted cmd/serve under the grid's control.
+type serveProc struct {
+	cmd     *exec.Cmd
+	waitc   chan error
+	baseURL string
+	logFile *os.File
+}
+
+// bootServe starts opts.ServeBin on the given corpus at an ephemeral
+// port (discovered via -addr-file) with stdout/stderr captured to
+// logs/<cell>.log, and blocks until the listener address is known.
+func bootServe(ctx context.Context, opts GridOptions, name, corpusPath, ontPath string) (*serveProc, error) {
+	addrPath := filepath.Join(opts.OutDir, "logs", name+".addr")
+	_ = os.Remove(addrPath) // stale file from an interrupted run would short-circuit the poll
+	logPath := filepath.Join(opts.OutDir, "logs", name+".log")
+	lf, err := os.Create(logPath)
+	if err != nil {
+		return nil, err
+	}
+	args := []string{
+		"-corpus", corpusPath,
+		"-ontology", ontPath,
+		"-addr", "127.0.0.1:0",
+		"-addr-file", addrPath,
+		"-log-level", "warn",
+	}
+	args = append(args, opts.Config.ServeArgs...)
+	cmd := exec.CommandContext(ctx, opts.ServeBin, args...)
+	cmd.Stdout = lf
+	cmd.Stderr = lf
+	if err := cmd.Start(); err != nil {
+		lf.Close()
+		return nil, fmt.Errorf("start %s: %w", opts.ServeBin, err)
+	}
+	waitc := make(chan error, 1)
+	go func() { waitc <- cmd.Wait() }()
+
+	addr, err := awaitAddrFile(ctx, addrPath, waitc, logPath)
+	if err != nil {
+		_ = cmd.Process.Kill()
+		select {
+		case <-waitc:
+		case <-time.After(5 * time.Second):
+		}
+		lf.Close()
+		return nil, err
+	}
+	return &serveProc{cmd: cmd, waitc: waitc, baseURL: "http://" + addr, logFile: lf}, nil
+}
+
+// awaitAddrFile polls for the server's -addr-file to appear non-empty;
+// a server exit or ctx expiry before that is a boot failure.
+func awaitAddrFile(ctx context.Context, path string, waitc chan error, logPath string) (string, error) {
+	t := time.NewTicker(25 * time.Millisecond)
+	defer t.Stop()
+	deadline := time.NewTimer(60 * time.Second)
+	defer deadline.Stop()
+	for {
+		if raw, err := os.ReadFile(path); err == nil {
+			if addr := strings.TrimSpace(string(raw)); addr != "" {
+				return addr, nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return "", ctx.Err()
+		case err := <-waitc:
+			// Put the exit back so stop() still has it to consume.
+			waitc <- err
+			return "", fmt.Errorf("server exited before listening (err=%v); see %s", err, logPath)
+		case <-deadline.C:
+			return "", fmt.Errorf("server never wrote %s; see %s", path, logPath)
+		case <-t.C:
+		}
+	}
+}
+
+// stop terminates the server gracefully (SIGTERM triggers cmd/serve's
+// drain-and-snapshot shutdown), escalating to SIGKILL after a grace
+// period.
+func (s *serveProc) stop() {
+	defer s.logFile.Close()
+	_ = s.cmd.Process.Signal(syscall.SIGTERM)
+	select {
+	case <-s.waitc:
+	case <-time.After(15 * time.Second):
+		_ = s.cmd.Process.Kill()
+		<-s.waitc
+	}
+}
+
+// runCell boots a fresh server on the corpus, waits for readiness,
+// runs warmup (discarded) then the measured window, writes the
+// per-cell CSV, and tears the server down.
+func runCell(ctx context.Context, opts GridOptions, spec CorpusSpec, mixName string, mix Mix, conc int, rate float64, corpusPath, ontPath, name string) (*Cell, *buildinfo.Info, error) {
+	cfg := opts.Config
+	srv, err := bootServe(ctx, opts, name, corpusPath, ontPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer srv.stop()
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        conc * 2,
+		MaxIdleConnsPerHost: conc * 2,
+	}}
+	readyCtx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+	defer cancel()
+	if err := WaitReady(readyCtx, client, srv.baseURL, 50*time.Millisecond); err != nil {
+		return nil, nil, err
+	}
+	health, err := FetchHealth(ctx, client, srv.baseURL)
+	if err != nil {
+		return nil, nil, fmt.Errorf("health: %w", err)
+	}
+	var serverInfo *buildinfo.Info
+	if v, err := FetchVersion(ctx, client, srv.baseURL); err == nil {
+		serverInfo = &v
+	}
+
+	ropts := Options{
+		BaseURL:     srv.baseURL,
+		Concurrency: conc,
+		Rate:        rate,
+		Duration:    cfg.duration,
+		Mix:         mix,
+		Seed:        cfg.Seed,
+		VocabSize:   cfg.Vocab,
+		Client:      client,
+	}
+	if cfg.warmup > 0 {
+		wopts := ropts
+		wopts.Duration = cfg.warmup
+		if _, err := Run(ctx, wopts); err != nil {
+			return nil, nil, fmt.Errorf("warmup: %w", err)
+		}
+	}
+	res, err := Run(ctx, ropts)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	csv := CSVHeader + "\n"
+	for _, e := range res.Summary.Endpoints {
+		csv += CSVRow(e) + "\n"
+	}
+	csvPath := filepath.Join(opts.OutDir, "cells", name+".csv")
+	if err := os.WriteFile(csvPath, []byte(csv), 0o644); err != nil {
+		return nil, nil, err
+	}
+
+	cell := &Cell{
+		Name:        name,
+		Corpus:      spec.Name,
+		Docs:        health.Docs,
+		Concepts:    health.Concepts,
+		Concurrency: conc,
+		RateTarget:  rate,
+		Mix:         mixName + " (" + mix.String() + ")",
+		Seed:        cfg.Seed,
+		Summary:     res.Summary,
+	}
+	return cell, serverInfo, nil
+}
+
+// writeOutputs emits the assembled record as BENCH_loadgen.json plus
+// flat summary.csv (cell × endpoint rows) and summary.md (one row per
+// cell, p99 per endpoint) tables under outDir.
+func writeOutputs(outDir string, record *BenchRecord) error {
+	raw, err := record.EncodeIndented()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(outDir, "BENCH_loadgen.json"), raw, 0o644); err != nil {
+		return err
+	}
+
+	var csv strings.Builder
+	csv.WriteString("cell,corpus,docs,concepts,concurrency,rate_target," + CSVHeader + "\n")
+	for _, c := range record.Cells {
+		for _, e := range c.Summary.Endpoints {
+			fmt.Fprintf(&csv, "%s,%s,%d,%d,%d,%g,%s\n",
+				c.Name, c.Corpus, c.Docs, c.Concepts, c.Concurrency, c.RateTarget, CSVRow(e))
+		}
+	}
+	if err := os.WriteFile(filepath.Join(outDir, "summary.csv"), []byte(csv.String()), 0o644); err != nil {
+		return err
+	}
+
+	// One markdown row per cell; p99 columns for the union of endpoints.
+	epSet := map[string]bool{}
+	for _, c := range record.Cells {
+		for _, e := range c.Summary.Endpoints {
+			epSet[e.Endpoint] = true
+		}
+	}
+	eps := make([]string, 0, len(epSet))
+	for ep := range epSet {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+
+	var md strings.Builder
+	fmt.Fprintf(&md, "# Load grid: %s\n\n", record.Grid)
+	md.WriteString("| cell | docs | conc | req/s | errors |")
+	for _, ep := range eps {
+		fmt.Fprintf(&md, " %s p99 (ms) |", ep)
+	}
+	md.WriteString("\n|---|---:|---:|---:|---:|")
+	for range eps {
+		md.WriteString("---:|")
+	}
+	md.WriteString("\n")
+	for _, c := range record.Cells {
+		p99 := map[string]float64{}
+		for _, e := range c.Summary.Endpoints {
+			p99[e.Endpoint] = e.P99Ms
+		}
+		fmt.Fprintf(&md, "| %s | %d | %d | %.0f | %d |",
+			c.Name, c.Docs, c.Concurrency, c.Summary.ReqPerSec, c.Summary.TotalErrors)
+		for _, ep := range eps {
+			if v, ok := p99[ep]; ok {
+				fmt.Fprintf(&md, " %.3f |", v)
+			} else {
+				md.WriteString(" – |")
+			}
+		}
+		md.WriteString("\n")
+	}
+	return os.WriteFile(filepath.Join(outDir, "summary.md"), []byte(md.String()), 0o644)
+}

@@ -1,0 +1,349 @@
+package loadtest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bioenrich/internal/obs"
+)
+
+// Options configures one load-generation run against a live server.
+type Options struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Concurrency is the number of closed-loop workers (each keeps at
+	// most one request in flight). 0 means 8.
+	Concurrency int
+	// Rate, when > 0, switches to open-loop pacing at this many
+	// requests/second overall: a central pacer grants issue slots and
+	// workers block for one before each op. Backlogged slots past one
+	// per worker are dropped (the server is not keeping up; the drop
+	// count is reported). 0 is closed-loop: issue as fast as responses
+	// return.
+	Rate float64
+	// Duration bounds the measured run. 0 means 10s.
+	Duration time.Duration
+	// MaxRequests, when > 0, additionally caps issued mix ops (job
+	// polls don't count). The run ends at whichever bound hits first.
+	MaxRequests int64
+	// Mix is the traffic blend. Zero value means DefaultMix.
+	Mix Mix
+	// Seed derives every worker's op sequence and payloads. Same seed,
+	// same offered traffic.
+	Seed int64
+	// VocabSize is the generator vocabulary (0 = 400). Matching the
+	// corpus generation seed makes queries hit real postings.
+	VocabSize int
+	// Timeout bounds each request (0 = 30s).
+	Timeout time.Duration
+	// IngestBatch is documents per ingest request (0 = 4).
+	IngestBatch int
+	// IngestWords is words per ingested document body (0 = 40).
+	IngestWords int
+	// TextWords is words per classify/recommend body (0 = 30).
+	TextWords int
+	// EnrichTop is the "top" parameter of submitted enrich jobs
+	// (0 = 3; small keeps job runtime sane on big corpora).
+	EnrichTop int
+	// PollInterval is the async-job poll cadence (0 = 100ms).
+	PollInterval time.Duration
+	// Client overrides the HTTP client (tests). nil builds one sized
+	// to Concurrency.
+	Client *http.Client
+}
+
+func (o Options) withDefaults() Options {
+	if o.Concurrency <= 0 {
+		o.Concurrency = 8
+	}
+	if o.Duration <= 0 {
+		o.Duration = 10 * time.Second
+	}
+	if o.Mix.total == 0 {
+		o.Mix = DefaultMix()
+	}
+	if o.VocabSize <= 0 {
+		o.VocabSize = 400
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+	if o.IngestBatch <= 0 {
+		o.IngestBatch = 4
+	}
+	if o.IngestWords <= 0 {
+		o.IngestWords = 40
+	}
+	if o.TextWords <= 0 {
+		o.TextWords = 30
+	}
+	if o.EnrichTop <= 0 {
+		o.EnrichTop = 3
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 100 * time.Millisecond
+	}
+	return o
+}
+
+// Result is one measured run: the raw per-endpoint stats, the wall
+// time they were collected over, and the rendered summary.
+type Result struct {
+	Stats map[string]*EndpointStats
+	// Wall is the measured span from first issue to last completion.
+	Wall time.Duration
+	// DroppedSlots counts open-loop issue slots dropped because every
+	// worker was still waiting on a response — the "offered load
+	// exceeded capacity" signal. Always 0 in closed-loop runs.
+	DroppedSlots int64
+	Summary      Summary
+}
+
+// Run drives the configured mix against opts.BaseURL until the
+// duration (or request cap, or ctx) expires, then summarizes.
+// In-flight requests aborted by the run ending are discarded rather
+// than counted as server errors.
+func Run(ctx context.Context, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if opts.BaseURL == "" {
+		return nil, fmt.Errorf("loadtest: BaseURL is required")
+	}
+	base, err := url.Parse(opts.BaseURL)
+	if err != nil || base.Scheme == "" || base.Host == "" {
+		return nil, fmt.Errorf("loadtest: BaseURL %q is not an absolute URL", opts.BaseURL)
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        opts.Concurrency * 2,
+			MaxIdleConnsPerHost: opts.Concurrency * 2,
+		}}
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, opts.Duration)
+	defer cancel()
+
+	var dropped atomic.Int64
+	var pace chan struct{}
+	var paceWG sync.WaitGroup
+	if opts.Rate > 0 {
+		pace = make(chan struct{}, opts.Concurrency)
+		interval := time.Duration(float64(time.Second) / opts.Rate)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		paceWG.Add(1)
+		go func() {
+			defer paceWG.Done()
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case <-t.C:
+					select {
+					case pace <- struct{}{}:
+					default:
+						dropped.Add(1)
+					}
+				}
+			}
+		}()
+	}
+
+	// Slot-indexed per-worker stats: no locks on the measurement path,
+	// deterministic merge order after the join.
+	perWorker := make([]map[string]*EndpointStats, opts.Concurrency)
+	var issued atomic.Int64
+	var wg sync.WaitGroup
+	start := obs.Now()
+	for i := 0; i < opts.Concurrency; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			w := &worker{
+				opts:   opts,
+				client: client,
+				base:   opts.BaseURL,
+				gen:    NewGen(opts.Seed, opts.VocabSize, slot),
+				stats:  make(map[string]*EndpointStats),
+			}
+			perWorker[slot] = w.stats
+			for runCtx.Err() == nil {
+				if pace != nil {
+					select {
+					case <-runCtx.Done():
+						return
+					case <-pace:
+					}
+				}
+				if opts.MaxRequests > 0 && issued.Add(1) > opts.MaxRequests {
+					return
+				}
+				w.do(runCtx, w.gen.Pick(opts.Mix))
+			}
+		}(i)
+	}
+	wg.Wait()
+	paceWG.Wait()
+	wall := obs.Since(start)
+
+	merged := make(map[string]*EndpointStats)
+	for _, stats := range perWorker {
+		for name, st := range stats {
+			if m, ok := merged[name]; ok {
+				m.Merge(st)
+			} else {
+				cp := *st
+				merged[name] = &cp
+			}
+		}
+	}
+	return &Result{
+		Stats:        merged,
+		Wall:         wall,
+		DroppedSlots: dropped.Load(),
+		Summary:      Summarize(merged, wall),
+	}, nil
+}
+
+// worker issues one request at a time and records outcomes into its
+// own stats map.
+type worker struct {
+	opts   Options
+	client *http.Client
+	base   string
+	gen    *Gen
+	stats  map[string]*EndpointStats
+}
+
+func (w *worker) stat(endpoint string) *EndpointStats {
+	s, ok := w.stats[endpoint]
+	if !ok {
+		s = &EndpointStats{}
+		w.stats[endpoint] = s
+	}
+	return s
+}
+
+func (w *worker) do(ctx context.Context, op Op) {
+	switch op {
+	case OpSearch:
+		w.request(ctx, string(OpSearch), http.MethodGet,
+			"/v1/search?q="+url.QueryEscape(w.gen.Query())+"&n=10", nil, nil)
+	case OpClassify:
+		w.request(ctx, string(OpClassify), http.MethodPost, "/v1/classify",
+			map[string]any{"text": w.gen.Text(w.opts.TextWords), "top": 5}, nil)
+	case OpRecommend:
+		w.request(ctx, string(OpRecommend), http.MethodPost, "/v1/recommend",
+			map[string]any{"text": w.gen.Text(w.opts.TextWords), "top": 3}, nil)
+	case OpIngest:
+		w.request(ctx, string(OpIngest), http.MethodPost, "/v1/documents",
+			w.gen.Documents(w.opts.IngestBatch, w.opts.IngestWords), nil)
+	case OpEnrich:
+		w.enrich(ctx)
+	}
+}
+
+// enrich submits an async enrichment job and polls it to a terminal
+// status. The submit round-trip is recorded under "enrich"; every
+// poll GET under "poll". A submit rejected with 429/503 (queue full,
+// not started) is a recorded outcome, not a run error — backpressure
+// behavior under load is exactly what the harness measures.
+func (w *worker) enrich(ctx context.Context) {
+	var loc string
+	status := w.request(ctx, string(OpEnrich), http.MethodPost, "/v1/jobs/enrich",
+		map[string]any{"top": w.opts.EnrichTop}, func(resp *http.Response) {
+			loc = resp.Header.Get("Location")
+		})
+	if status != http.StatusAccepted || loc == "" {
+		return
+	}
+	t := time.NewTicker(w.opts.PollInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		var payload struct {
+			Status string `json:"status"`
+		}
+		st := w.request(ctx, EndpointPoll, http.MethodGet, loc, nil, func(resp *http.Response) {
+			// Decode failures leave Status empty; polling just continues
+			// until the run deadline.
+			body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			if err == nil {
+				_ = json.Unmarshal(body, &payload)
+			}
+		})
+		if st == http.StatusNotFound {
+			return // job swept by TTL GC — nothing left to poll
+		}
+		switch payload.Status {
+		case "done", "failed", "cancelled":
+			return
+		}
+	}
+}
+
+// request issues one HTTP round-trip and records it. onResp, when
+// non-nil, inspects the response before the body is drained; the
+// returned value is the HTTP status, or 0 for a transport failure.
+// Requests aborted because the run ended are not recorded.
+func (w *worker) request(ctx context.Context, endpoint, method, path string, body any, onResp func(*http.Response)) int {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			// Payload marshalling is deterministic; failing here is a
+			// programming error, recorded as a client-side error sample.
+			w.stat(endpoint).Record(0, 0)
+			return 0
+		}
+		rd = bytes.NewReader(buf)
+	}
+	reqCtx, cancel := context.WithTimeout(ctx, w.opts.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, method, w.base+path, rd)
+	if err != nil {
+		w.stat(endpoint).Record(0, 0)
+		return 0
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	start := obs.Now()
+	resp, err := w.client.Do(req)
+	elapsed := obs.Since(start)
+	if err != nil {
+		// The run winding down aborts in-flight requests (the run
+		// deadline propagates to reqCtx as DeadlineExceeded, a plain
+		// cancel as Canceled — either way ctx.Err() is set); those aborts
+		// say nothing about the server, so they are dropped. A
+		// per-request timeout with the run still live is a real
+		// (latency) failure and is recorded.
+		if ctx.Err() != nil {
+			return 0
+		}
+		w.stat(endpoint).Record(0, elapsed)
+		return 0
+	}
+	if onResp != nil {
+		onResp(resp)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body) // drain for connection reuse
+	resp.Body.Close()
+	w.stat(endpoint).Record(resp.StatusCode, elapsed)
+	return resp.StatusCode
+}

@@ -1,0 +1,218 @@
+package loadtest
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeServer mimics the /v1 surface the runner drives — enough to
+// exercise every op path, including the async job submit/poll cycle
+// and injected backpressure — while counting what it saw.
+type fakeServer struct {
+	search, classify, recommend, ingest, submit, poll atomic.Int64
+	reject429                                         atomic.Bool
+	pollsUntilDone                                    int64
+}
+
+func (f *fakeServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	ok := func(counter *atomic.Int64) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			counter.Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(w, `{}`)
+		}
+	}
+	mux.HandleFunc("GET /v1/search", ok(&f.search))
+	mux.HandleFunc("POST /v1/classify", ok(&f.classify))
+	mux.HandleFunc("POST /v1/recommend", ok(&f.recommend))
+	mux.HandleFunc("POST /v1/documents", func(w http.ResponseWriter, r *http.Request) {
+		var docs []map[string]any
+		if err := json.NewDecoder(r.Body).Decode(&docs); err != nil || len(docs) == 0 {
+			http.Error(w, "bad batch", http.StatusBadRequest)
+			return
+		}
+		f.ingest.Add(1)
+		fmt.Fprint(w, `{}`)
+	})
+	mux.HandleFunc("POST /v1/jobs/enrich", func(w http.ResponseWriter, r *http.Request) {
+		if f.reject429.Load() {
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":{"code":"queue_full","message":"full"}}`)
+			return
+		}
+		n := f.submit.Add(1)
+		w.Header().Set("Location", fmt.Sprintf("/v1/jobs/j-%06d", n))
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprint(w, `{"status":"queued"}`)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		n := f.poll.Add(1)
+		status := "running"
+		if f.pollsUntilDone <= 0 || n%f.pollsUntilDone == 0 {
+			status = "done"
+		}
+		fmt.Fprintf(w, `{"status":%q}`, status)
+	})
+	return mux
+}
+
+// TestRunAgainstFakeServer drives the full default mix and checks the
+// summary accounts for every op the server saw.
+func TestRunAgainstFakeServer(t *testing.T) {
+	f := &fakeServer{pollsUntilDone: 2}
+	ts := httptest.NewServer(f.handler())
+	t.Cleanup(ts.Close)
+
+	res, err := Run(context.Background(), Options{
+		BaseURL:      ts.URL,
+		Concurrency:  4,
+		Duration:     500 * time.Millisecond,
+		Seed:         42,
+		PollInterval: 5 * time.Millisecond,
+		Timeout:      5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.TotalRequests == 0 {
+		t.Fatal("no requests recorded")
+	}
+	if res.Summary.TotalErrors != 0 {
+		t.Errorf("errors = %d, want 0: %+v", res.Summary.TotalErrors, res.Summary.Endpoints)
+	}
+	if res.DroppedSlots != 0 {
+		t.Errorf("closed-loop run dropped %d slots", res.DroppedSlots)
+	}
+	got := map[string]int64{}
+	for _, e := range res.Summary.Endpoints {
+		got[e.Endpoint] = e.OK
+	}
+	// Recorded counts can trail the server's by in-flight requests
+	// aborted at the deadline, never exceed them.
+	for endpoint, served := range map[string]int64{
+		string(OpSearch):    f.search.Load(),
+		string(OpClassify):  f.classify.Load(),
+		string(OpRecommend): f.recommend.Load(),
+		string(OpIngest):    f.ingest.Load(),
+		string(OpEnrich):    f.submit.Load(),
+		EndpointPoll:        f.poll.Load(),
+	} {
+		if got[endpoint] > served {
+			t.Errorf("%s: recorded %d OK but server served %d", endpoint, got[endpoint], served)
+		}
+	}
+	if got[string(OpSearch)] == 0 || got[string(OpEnrich)] == 0 || got[EndpointPoll] == 0 {
+		t.Errorf("expected traffic on search/enrich/poll, got %v", got)
+	}
+}
+
+// TestRunRecordsBackpressure: 429 submits land in err_429, not in the
+// error-free OK column, and don't abort the run.
+func TestRunRecordsBackpressure(t *testing.T) {
+	f := &fakeServer{}
+	f.reject429.Store(true)
+	ts := httptest.NewServer(f.handler())
+	t.Cleanup(ts.Close)
+
+	mix, err := ParseMix("enrich=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), Options{
+		BaseURL:     ts.URL,
+		Concurrency: 2,
+		Duration:    200 * time.Millisecond,
+		Mix:         mix,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var enrich *EndpointSummary
+	for i := range res.Summary.Endpoints {
+		if res.Summary.Endpoints[i].Endpoint == string(OpEnrich) {
+			enrich = &res.Summary.Endpoints[i]
+		}
+	}
+	if enrich == nil || enrich.Err429 == 0 || enrich.OK != 0 {
+		t.Errorf("enrich under 429 = %+v", enrich)
+	}
+}
+
+// TestRunOpenLoop: a target rate caps throughput. The upper bound is
+// the real assertion — open-loop mode must not exceed the configured
+// rate. The lower bound is deliberately loose: on a loaded machine
+// (e.g. under -race) ticker ticks coalesce and the pacer legitimately
+// issues fewer requests than the budget.
+func TestRunOpenLoop(t *testing.T) {
+	f := &fakeServer{}
+	ts := httptest.NewServer(f.handler())
+	t.Cleanup(ts.Close)
+
+	mix, err := ParseMix("search=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), Options{
+		BaseURL:     ts.URL,
+		Concurrency: 4,
+		Rate:        200,
+		Duration:    500 * time.Millisecond,
+		Mix:         mix,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := res.Summary.TotalRequests
+	if reqs > 150 {
+		t.Errorf("open-loop at 200/s for 500ms issued %d requests, rate cap not enforced", reqs)
+	}
+	if reqs < 5 {
+		t.Errorf("open-loop at 200/s for 500ms issued only %d requests", reqs)
+	}
+}
+
+// TestRunMaxRequests: the request cap ends the run early.
+func TestRunMaxRequests(t *testing.T) {
+	f := &fakeServer{}
+	ts := httptest.NewServer(f.handler())
+	t.Cleanup(ts.Close)
+
+	mix, err := ParseMix("search=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), Options{
+		BaseURL:     ts.URL,
+		Concurrency: 2,
+		Duration:    10 * time.Second,
+		MaxRequests: 20,
+		Mix:         mix,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.TotalRequests > 20 {
+		t.Errorf("issued %d requests past the cap of 20", res.Summary.TotalRequests)
+	}
+	if res.Wall > 5*time.Second {
+		t.Errorf("capped run took %v, should end well before the duration", res.Wall)
+	}
+}
+
+func TestRunValidatesBaseURL(t *testing.T) {
+	for _, u := range []string{"", "not-a-url", "127.0.0.1:8080"} {
+		if _, err := Run(context.Background(), Options{BaseURL: u, Duration: time.Millisecond}); err == nil {
+			t.Errorf("Run with BaseURL %q succeeded, want error", u)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Package loadtest is the in-repo HTTP load generator behind
+// cmd/loadgen and the scripts/paper experiment grid: it drives
+// configurable mixed /v1 traffic (search, classify, recommend,
+// document ingest, async enrich jobs with polling) against a live
+// bioenrich server at fixed concurrency (closed loop) or a target
+// request rate (open loop), and measures per-endpoint throughput,
+// latency quantiles and error counts.
+//
+// Everything the package reports is deterministic given the recorded
+// samples: latencies land in a fixed geometric bucket layout
+// (HDR-histogram style, ~7% relative resolution) and quantiles are
+// read off the bucket boundaries, so re-summarizing the same samples —
+// in any arrival order, merged across any number of workers — yields
+// byte-identical summary JSON. That property is what lets BENCH
+// records be diffed across commits.
+//
+// Wall-clock reads route through obs.Now/obs.Since (the repo's
+// sanctioned instrumentation clock) and all randomness is derived from
+// an explicit seed, per the biolint determinism gate.
+package loadtest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Geometric histogram layout: bucket i covers
+// (histMin·growth^(i-1), histMin·growth^i]. ~7% relative error is far
+// below run-to-run noise, and 256 buckets span 10µs..~300s.
+const (
+	histMin     = 10 * time.Microsecond
+	histGrowth  = 1.07
+	histBuckets = 256
+)
+
+// histBounds[i] is the inclusive upper bound of bucket i, built by
+// repeated float64 multiplication (no transcendental calls), so the
+// layout is bit-identical on every platform.
+var histBounds = func() [histBuckets]time.Duration {
+	var b [histBuckets]time.Duration
+	f := float64(histMin)
+	for i := range b {
+		b[i] = time.Duration(f)
+		f *= histGrowth
+	}
+	return b
+}()
+
+// LatencyHist is a fixed-layout latency histogram. The zero value is
+// ready to use. It is not goroutine-safe: each runner worker owns one
+// and the runner merges them after the join.
+type LatencyHist struct {
+	counts   [histBuckets + 1]int64 // counts[histBuckets] = overflow
+	count    int64
+	sum      time.Duration
+	min, max time.Duration
+}
+
+// Observe records one latency sample.
+func (h *LatencyHist) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketIndex(d)]++
+	h.count++
+	h.sum += d
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// bucketIndex locates d's bucket by binary search over the fixed
+// bounds — deterministic, no float logarithms.
+func bucketIndex(d time.Duration) int {
+	return sort.Search(histBuckets, func(i int) bool { return histBounds[i] >= d })
+}
+
+// Merge folds o into h. Merging is commutative and associative, so
+// the runner's per-worker histograms can be combined in any order
+// without changing the summary.
+func (h *LatencyHist) Merge(o *LatencyHist) {
+	if o.count == 0 {
+		return
+	}
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
+// Count returns the number of recorded samples.
+func (h *LatencyHist) Count() int64 { return h.count }
+
+// Mean returns the exact arithmetic mean (the sum is tracked exactly,
+// not reconstructed from buckets).
+func (h *LatencyHist) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Max returns the largest recorded sample.
+func (h *LatencyHist) Max() time.Duration { return h.max }
+
+// Quantile returns the q-quantile (0 < q <= 1) as the upper bound of
+// the bucket where the cumulative count crosses ceil(q·n), clamped to
+// the observed [min, max]. Deterministic given the counts.
+func (h *LatencyHist) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	v := h.max
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			if i < histBuckets {
+				v = histBounds[i]
+			}
+			break
+		}
+	}
+	if v > h.max {
+		v = h.max
+	}
+	if v < h.min {
+		v = h.min
+	}
+	return v
+}
+
+// EndpointStats accumulates one endpoint's outcome counters and
+// latency histogram. Not goroutine-safe; one per worker per endpoint,
+// merged after the join.
+type EndpointStats struct {
+	Requests int64
+	OK       int64 // 2xx (and the job-submit 202)
+	Err429   int64 // queue_full backpressure
+	Err503   int64 // unavailable (durability rejection, booting)
+	ErrOther int64 // any other non-2xx status or transport failure
+	Latency  LatencyHist
+}
+
+// Record files one request outcome: its HTTP status (0 for a
+// transport-level failure) and latency.
+func (e *EndpointStats) Record(status int, d time.Duration) {
+	e.Requests++
+	switch {
+	case status >= 200 && status < 300:
+		e.OK++
+	case status == 429:
+		e.Err429++
+	case status == 503:
+		e.Err503++
+	default:
+		e.ErrOther++
+	}
+	e.Latency.Observe(d)
+}
+
+// Merge folds o into e.
+func (e *EndpointStats) Merge(o *EndpointStats) {
+	e.Requests += o.Requests
+	e.OK += o.OK
+	e.Err429 += o.Err429
+	e.Err503 += o.Err503
+	e.ErrOther += o.ErrOther
+	e.Latency.Merge(&o.Latency)
+}
+
+// roundMs renders a duration as milliseconds with microsecond
+// precision — compact in JSON/CSV, stable under encoding (three
+// decimals survive float64 round-tripping exactly for this range).
+func roundMs(d time.Duration) float64 {
+	return math.Round(d.Seconds()*1e6) / 1e3
+}
+
+// round2 rounds to two decimals for rates.
+func round2(v float64) float64 { return math.Round(v*100) / 100 }
+
+// EndpointSummary is the reported shape of one endpoint's results.
+type EndpointSummary struct {
+	Endpoint  string  `json:"endpoint"`
+	Requests  int64   `json:"requests"`
+	OK        int64   `json:"ok"`
+	Err429    int64   `json:"err_429"`
+	Err503    int64   `json:"err_503"`
+	ErrOther  int64   `json:"err_other"`
+	ReqPerSec float64 `json:"req_per_sec"`
+	MeanMs    float64 `json:"mean_ms"`
+	P50Ms     float64 `json:"p50_ms"`
+	P90Ms     float64 `json:"p90_ms"`
+	P95Ms     float64 `json:"p95_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	MaxMs     float64 `json:"max_ms"`
+}
+
+// Summary is one measured run: overall achieved throughput plus the
+// per-endpoint breakdown, endpoints in lexical order.
+type Summary struct {
+	WallSeconds   float64           `json:"wall_seconds"`
+	TotalRequests int64             `json:"total_requests"`
+	TotalErrors   int64             `json:"total_errors"`
+	ReqPerSec     float64           `json:"req_per_sec"`
+	Endpoints     []EndpointSummary `json:"endpoints"`
+}
+
+// Summarize renders per-endpoint stats into the deterministic summary
+// shape: endpoints sorted lexically, quantiles off the fixed bucket
+// layout, rates against the measured wall time.
+func Summarize(stats map[string]*EndpointStats, wall time.Duration) Summary {
+	names := make([]string, 0, len(stats))
+	for name := range stats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	secs := wall.Seconds()
+	sum := Summary{WallSeconds: round2(secs), Endpoints: make([]EndpointSummary, 0, len(names))}
+	for _, name := range names {
+		e := stats[name]
+		if e.Requests == 0 {
+			continue
+		}
+		rate := 0.0
+		if secs > 0 {
+			rate = round2(float64(e.Requests) / secs)
+		}
+		sum.TotalRequests += e.Requests
+		sum.TotalErrors += e.Err429 + e.Err503 + e.ErrOther
+		sum.Endpoints = append(sum.Endpoints, EndpointSummary{
+			Endpoint:  name,
+			Requests:  e.Requests,
+			OK:        e.OK,
+			Err429:    e.Err429,
+			Err503:    e.Err503,
+			ErrOther:  e.ErrOther,
+			ReqPerSec: rate,
+			MeanMs:    roundMs(e.Latency.Mean()),
+			P50Ms:     roundMs(e.Latency.Quantile(0.50)),
+			P90Ms:     roundMs(e.Latency.Quantile(0.90)),
+			P95Ms:     roundMs(e.Latency.Quantile(0.95)),
+			P99Ms:     roundMs(e.Latency.Quantile(0.99)),
+			MaxMs:     roundMs(e.Latency.Max()),
+		})
+	}
+	if secs > 0 {
+		sum.ReqPerSec = round2(float64(sum.TotalRequests) / secs)
+	}
+	return sum
+}
+
+// CSVHeader is the per-endpoint CSV column set, aligned with
+// EndpointSummary field order.
+const CSVHeader = "endpoint,requests,ok,err_429,err_503,err_other,req_per_sec,mean_ms,p50_ms,p90_ms,p95_ms,p99_ms,max_ms"
+
+// CSVRow renders one endpoint summary as a CSV line (no trailing
+// newline).
+func CSVRow(e EndpointSummary) string {
+	return fmt.Sprintf("%s,%d,%d,%d,%d,%d,%g,%g,%g,%g,%g,%g,%g",
+		e.Endpoint, e.Requests, e.OK, e.Err429, e.Err503, e.ErrOther,
+		e.ReqPerSec, e.MeanMs, e.P50Ms, e.P90Ms, e.P95Ms, e.P99Ms, e.MaxMs)
+}

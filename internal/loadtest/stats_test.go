@@ -1,0 +1,172 @@
+package loadtest
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestSummaryDeterminism is the determinism contract: the same sample
+// set — recorded in any order, split across any number of worker-local
+// stats and merged — renders byte-identical summary JSON.
+func TestSummaryDeterminism(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	type sample struct {
+		status int
+		d      time.Duration
+	}
+	samples := make([]sample, 5000)
+	for i := range samples {
+		status := 200
+		switch i % 100 {
+		case 0:
+			status = 429
+		case 1:
+			status = 503
+		case 2:
+			status = 0
+		}
+		samples[i] = sample{status, time.Duration(r.Int63n(int64(2 * time.Second)))}
+	}
+
+	render := func(workers int, perm []int) []byte {
+		t.Helper()
+		per := make([]*EndpointStats, workers)
+		for i := range per {
+			per[i] = &EndpointStats{}
+		}
+		for i, idx := range perm {
+			s := samples[idx]
+			per[i%workers].Record(s.status, s.d)
+		}
+		merged := &EndpointStats{}
+		for _, st := range per {
+			merged.Merge(st)
+		}
+		sum := Summarize(map[string]*EndpointStats{"search": merged}, 10*time.Second)
+		raw, err := json.Marshal(sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+
+	identity := make([]int, len(samples))
+	for i := range identity {
+		identity[i] = i
+	}
+	shuffled := append([]int{}, identity...)
+	rand.New(rand.NewSource(99)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+
+	base := render(1, identity)
+	for _, workers := range []int{2, 7, 16} {
+		if got := render(workers, shuffled); string(got) != string(base) {
+			t.Errorf("summary differs for %d workers + shuffled order:\n%s\nvs\n%s", workers, got, base)
+		}
+	}
+}
+
+// TestSummaryGolden pins the exact rendered JSON for a tiny fixed
+// sample set, so any change to bucket layout, rounding or field order
+// is a visible diff.
+func TestSummaryGolden(t *testing.T) {
+	e := &EndpointStats{}
+	e.Record(200, 1*time.Millisecond)
+	e.Record(200, 2*time.Millisecond)
+	e.Record(200, 10*time.Millisecond)
+	e.Record(429, 100*time.Millisecond)
+	sum := Summarize(map[string]*EndpointStats{"classify": e}, 2*time.Second)
+	raw, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"wall_seconds":2,"total_requests":4,"total_errors":1,"req_per_sec":2,` +
+		`"endpoints":[{"endpoint":"classify","requests":4,"ok":3,"err_429":1,"err_503":0,"err_other":0,` +
+		`"req_per_sec":2,"mean_ms":28.25,"p50_ms":2.096,"p90_ms":100,"p95_ms":100,"p99_ms":100,"max_ms":100}]}`
+	if string(raw) != want {
+		t.Errorf("summary JSON drifted:\n got %s\nwant %s", raw, want)
+	}
+}
+
+// TestQuantileAccuracy: bucket-boundary quantiles stay within the
+// layout's ~7% relative resolution of the true order statistics.
+func TestQuantileAccuracy(t *testing.T) {
+	h := &LatencyHist{}
+	for i := 1; i <= 10000; i++ {
+		h.Observe(time.Duration(i) * 100 * time.Microsecond) // 0.1ms .. 1s uniform
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Millisecond},
+		{0.95, 950 * time.Millisecond},
+		{0.99, 990 * time.Millisecond},
+	} {
+		got := h.Quantile(tc.q)
+		lo := time.Duration(float64(tc.want) * 0.92)
+		hi := time.Duration(float64(tc.want) * 1.08)
+		if got < lo || got > hi {
+			t.Errorf("q%.2f = %v, want within [%v, %v]", tc.q, got, lo, hi)
+		}
+	}
+	if h.Quantile(1.0) != h.Max() {
+		t.Errorf("q1.0 = %v, want max %v", h.Quantile(1.0), h.Max())
+	}
+}
+
+// TestHistogramEdgeCases covers the empty, single-sample and overflow
+// paths.
+func TestHistogramEdgeCases(t *testing.T) {
+	var h LatencyHist
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Error("zero-value histogram should report zeros")
+	}
+	h.Observe(5 * time.Millisecond)
+	if h.Quantile(0.5) != 5*time.Millisecond {
+		// A single sample is clamped to [min, max] = the sample itself.
+		t.Errorf("single-sample median = %v", h.Quantile(0.5))
+	}
+	h2 := &LatencyHist{}
+	h2.Observe(10 * time.Minute) // beyond the last bucket bound
+	if got := h2.Quantile(0.99); got != 10*time.Minute {
+		t.Errorf("overflow quantile = %v, want clamped to max", got)
+	}
+	h2.Observe(-time.Second) // negative clamps to zero
+	if h2.Count() != 2 {
+		t.Errorf("count = %d", h2.Count())
+	}
+}
+
+// TestCSVRowMatchesHeader keeps the CSV column count in lockstep with
+// the header.
+func TestCSVRowMatchesHeader(t *testing.T) {
+	e := &EndpointStats{}
+	e.Record(200, time.Millisecond)
+	sum := Summarize(map[string]*EndpointStats{"x": e}, time.Second)
+	row := CSVRow(sum.Endpoints[0])
+	nHeader := len(splitCSV(CSVHeader))
+	nRow := len(splitCSV(row))
+	if nHeader != nRow {
+		t.Errorf("header has %d columns, row has %d", nHeader, nRow)
+	}
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for len(s) > 0 {
+		i := 0
+		for i < len(s) && s[i] != ',' {
+			i++
+		}
+		out = append(out, s[:i])
+		if i == len(s) {
+			break
+		}
+		s = s[i+1:]
+	}
+	return out
+}

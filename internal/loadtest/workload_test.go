@@ -1,0 +1,117 @@
+package loadtest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseMixRoundTrip(t *testing.T) {
+	m, err := ParseMix("enrich=5, search=50,classify=25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// String renders canonical op order regardless of input order.
+	if got := m.String(); got != "search=50,classify=25,enrich=5" {
+		t.Errorf("String() = %q", got)
+	}
+	m2, err := ParseMix(m.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.String() != m.String() {
+		t.Errorf("round trip changed the mix: %q vs %q", m2.String(), m.String())
+	}
+	if !m.Has(OpEnrich) || m.Has(OpIngest) {
+		t.Error("Has() disagrees with the spec")
+	}
+}
+
+func TestParseMixErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"bogus=10",
+		"search=0",
+		"search=-5",
+		"search=abc",
+		"search",
+		"search=10,search=20",
+	} {
+		if _, err := ParseMix(spec); err == nil {
+			t.Errorf("ParseMix(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+// TestGenDeterminism: the same (seed, worker) produces the same op
+// sequence and payloads; a different worker slot diverges.
+func TestGenDeterminism(t *testing.T) {
+	mix := DefaultMix()
+	seq := func(worker int) string {
+		g := NewGen(42, 100, worker)
+		var b strings.Builder
+		for i := 0; i < 50; i++ {
+			b.WriteString(string(g.Pick(mix)))
+			b.WriteByte('|')
+		}
+		b.WriteString(g.Query())
+		b.WriteString(g.Text(10))
+		return b.String()
+	}
+	if seq(0) != seq(0) {
+		t.Error("same seed+worker diverged")
+	}
+	if seq(0) == seq(1) {
+		t.Error("different workers produced identical streams")
+	}
+
+	docs := NewGen(42, 100, 3).Documents(2, 5)
+	if docs[0].ID != "loadgen-w3-000001" || docs[1].ID != "loadgen-w3-000002" {
+		t.Errorf("doc IDs = %q, %q", docs[0].ID, docs[1].ID)
+	}
+}
+
+func TestLoadGridConfig(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "grid.json")
+	write := func(body string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	write(`{
+		"seed": 7, "duration": "3s", "warmup": "1s",
+		"corpora": [{"name": "a", "branches": 2, "depth": 2, "docs": 2}],
+		"concurrency": [2, 4],
+		"mixes": [{"name": "m", "spec": "search=100"}]
+	}`)
+	cfg, err := LoadGridConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "grid" { // defaults to the file basename
+		t.Errorf("Name = %q", cfg.Name)
+	}
+	if cfg.Cells() != 2 {
+		t.Errorf("Cells() = %d, want 2 (1 corpus x 2 conc x 1 mix x 1 rate)", cfg.Cells())
+	}
+	if len(cfg.Rates) != 1 || cfg.Rates[0] != 0 {
+		t.Errorf("Rates defaulted to %v, want [0]", cfg.Rates)
+	}
+
+	for name, body := range map[string]string{
+		"no corpora":   `{"concurrency":[1],"mixes":[{"name":"m","spec":"search=1"}]}`,
+		"bad duration": `{"duration":"x","corpora":[{"name":"a","branches":1,"depth":1,"docs":1}],"concurrency":[1],"mixes":[{"name":"m","spec":"search=1"}]}`,
+		"bad mix":      `{"corpora":[{"name":"a","branches":1,"depth":1,"docs":1}],"concurrency":[1],"mixes":[{"name":"m","spec":"nope=1"}]}`,
+		"bad conc":     `{"corpora":[{"name":"a","branches":1,"depth":1,"docs":1}],"concurrency":[0],"mixes":[{"name":"m","spec":"search=1"}]}`,
+		"bad corpus":   `{"corpora":[{"name":"","branches":1,"depth":1,"docs":1}],"concurrency":[1],"mixes":[{"name":"m","spec":"search=1"}]}`,
+	} {
+		write(body)
+		if _, err := LoadGridConfig(path); err == nil {
+			t.Errorf("%s: LoadGridConfig succeeded, want error", name)
+		}
+	}
+}

@@ -102,11 +102,20 @@ func requestID(ctx context.Context) string {
 	return id
 }
 
+// LegacySunset is the announced removal date for the unversioned
+// pre-/v1 aliases, emitted on every legacy response as an RFC 8594
+// Sunset header (HTTP-date format). Clients that still hit legacy
+// paths get both the "this is deprecated" signal and the "when it
+// goes away" date; README documents the removal.
+const LegacySunset = "Sun, 01 Feb 2027 00:00:00 GMT"
+
 // deprecated marks a legacy unversioned route: same handler as its
-// /v1 twin, plus the Deprecation header nudging clients to migrate.
+// /v1 twin, plus the Deprecation header nudging clients to migrate
+// and the Sunset header announcing when the alias will be removed.
 func deprecated(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Sunset", LegacySunset)
 		h(w, r)
 	}
 }

@@ -18,6 +18,8 @@
 // # Endpoints (versioned, canonical)
 //
 //	GET    /v1/health                        liveness + current epoch
+//	GET    /v1/ready                         readiness: 503 until boot completes
+//	GET    /v1/version                       build identity (module/go/VCS revision)
 //	GET    /v1/ontology/stats                concept/term/polysemy counts
 //	GET    /v1/ontology/terms/{term}         concepts lexicalizing a term
 //	GET    /v1/search?q=<query>&n=10         BM25 document search
@@ -27,7 +29,7 @@
 //	POST   /v1/documents                     add documents (JSON array), reindex
 //	POST   /v1/enrich                        synchronous steps I-IV; {"apply":true} commits
 //	POST   /v1/jobs/enrich                   submit an async enrichment job (202)
-//	GET    /v1/jobs                          list jobs
+//	GET    /v1/jobs                          list jobs (limit/page_token/status)
 //	GET    /v1/jobs/{id}                     poll one job
 //	DELETE /v1/jobs/{id}                     cancel a job
 //	GET    /v1/relations?top=20              typed relations between ontology terms
@@ -50,7 +52,8 @@
 // read-decide-apply flows.
 //
 // Every pre-/v1 unversioned path remains mounted as a thin alias that
-// serves the identical body plus a "Deprecation: true" header
+// serves the identical body plus "Deprecation: true" and a Sunset
+// header carrying the announced removal date
 // (/ontology/term?t=<term> aliases /v1/ontology/terms/{term}).
 //
 // Document ingestion (both /v1/documents forms) is group-committed:
@@ -78,6 +81,7 @@ package server
 
 import (
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -87,9 +91,11 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"bioenrich/internal/batch"
+	"bioenrich/internal/buildinfo"
 	"bioenrich/internal/classify"
 	"bioenrich/internal/cluster"
 	"bioenrich/internal/core"
@@ -193,6 +199,11 @@ type Server struct {
 	opts       Options
 	jobs       *jobs.Manager
 	classifier *classify.Classifier
+	// ready flips once Start has launched the job subsystem — the last
+	// boot step. GET /v1/ready serves 503 before that, 200 after;
+	// liveness (GET /v1/health) answers either way. Load tooling polls
+	// readiness instead of sleeping an arbitrary grace period.
+	ready atomic.Bool
 }
 
 // New builds a server around a corpus and ontology with the paper's
@@ -254,11 +265,17 @@ func NewWithRegistry(reg *registry.Registry, cfg core.Config, opts Options) *Ser
 // durable entry on clean shutdown.
 func (s *Server) Registry() *registry.Registry { return s.reg }
 
-// Start launches the async job workers under ctx; cancelling ctx
-// cancels running jobs and stops the workers. Job submissions before
-// Start are rejected with 503 — read and synchronous endpoints work
-// without it.
-func (s *Server) Start(ctx context.Context) { s.jobs.Start(ctx) }
+// Start launches the async job workers under ctx and marks the server
+// ready; cancelling ctx cancels running jobs and stops the workers.
+// Job submissions before Start are rejected with 503 — read and
+// synchronous endpoints work without it. Start is the boot barrier
+// GET /v1/ready reports: cmd/serve calls it only after recovery and
+// registry construction have completed, so a 200 from /v1/ready means
+// the full surface (including job submission) is serving.
+func (s *Server) Start(ctx context.Context) {
+	s.jobs.Start(ctx)
+	s.ready.Store(true)
+}
 
 // Wait blocks until the job workers have exited after the Start
 // context was cancelled — the clean-shutdown hook for cmd/serve.
@@ -284,6 +301,8 @@ func (s *Server) Handler() http.Handler {
 	}
 	// Canonical versioned surface.
 	route("GET /v1/health", s.handleHealth)
+	route("GET /v1/ready", s.handleReady)
+	route("GET /v1/version", s.handleVersion)
 	route("GET /v1/ontology/stats", s.handleOntologyStats)
 	route("GET /v1/ontology/terms/{term}", s.handleOntologyTermPath)
 	route("GET /v1/search", s.handleSearch)
@@ -480,6 +499,34 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		"concepts": snap.Ontology.NumConcepts(),
 		"epoch":    snap.Epoch,
 	})
+}
+
+// handleReady is readiness, distinct from liveness: 503 "unavailable"
+// until Start has run (recovery and registry boot complete, job
+// subsystem accepting submissions), then 200 with the serving epoch
+// and hosted-entry count. Liveness (/v1/health) stays 200 throughout
+// boot — a booting process is alive but not yet ready for traffic.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("booting: job subsystem not started"))
+		return
+	}
+	snap := s.snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ready",
+		"epoch":   snap.Epoch,
+		"entries": s.reg.Len(),
+	})
+}
+
+// handleVersion serves the binary's build identity (GET /v1/version):
+// module version, Go toolchain, VCS revision — read from the embedded
+// build-info record, so what answers is provably what was built.
+// cmd/loadgen stamps the same record into BENCH_*.json files, which
+// ties every recorded performance number to a specific build.
+func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, buildinfo.Read())
 }
 
 func (s *Server) handleOntologyStats(w http.ResponseWriter, _ *http.Request) {
@@ -1004,13 +1051,85 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, jobView(job))
 }
 
-func (s *Server) handleJobList(w http.ResponseWriter, _ *http.Request) {
-	list := s.jobs.List()
+// DefaultJobPageLimit bounds a GET /v1/jobs page when the client sends
+// no ?limit=; MaxJobPageLimit caps what a client may request. Bounded
+// pages keep job polling O(page) under load however many jobs a soak
+// run has accumulated.
+const (
+	DefaultJobPageLimit = 100
+	MaxJobPageLimit     = 1000
+)
+
+// jobPageTokenPrefix versions the page-token format. The token is
+// opaque to clients (base64url) but deliberately simple inside: a
+// cursor in the job-ID space, which is stable across epoch swaps,
+// job completions and TTL sweeps — none of those renumber jobs.
+const jobPageTokenPrefix = "jobs-v1:"
+
+// encodeJobPageToken renders the "resume after this job ID" cursor.
+func encodeJobPageToken(afterID string) string {
+	return base64.RawURLEncoding.EncodeToString([]byte(jobPageTokenPrefix + afterID))
+}
+
+// decodeJobPageToken validates and unwraps a client-supplied
+// page_token. Anything that is not a well-formed token of the current
+// version is a client error (400 invalid_argument) — not silently
+// treated as "start over", which would make a corrupted poller loop
+// forever over page one.
+func decodeJobPageToken(tok string) (string, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(tok)
+	if err != nil {
+		return "", fmt.Errorf("page_token: not a valid token")
+	}
+	after, ok := strings.CutPrefix(string(raw), jobPageTokenPrefix)
+	if !ok || after == "" {
+		return "", fmt.Errorf("page_token: not a valid token")
+	}
+	return after, nil
+}
+
+// handleJobList lists jobs with deterministic pagination and
+// filtering (GET /v1/jobs?limit=&page_token=&status=). Jobs are
+// ordered by ID (== submission order); the next_page_token field is
+// present exactly when more matching jobs remain. The cursor is a
+// position in the ID space, so walking pages while the server commits
+// epochs, finishes jobs or GCs expired ones never skips or repeats a
+// retained job.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	limit, err := intParam(r, "limit", DefaultJobPageLimit)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if limit == 0 || limit > MaxJobPageLimit {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("parameter \"limit\": must be between 1 and %d", MaxJobPageLimit))
+		return
+	}
+	status := jobs.Status(r.URL.Query().Get("status"))
+	if status != "" && !jobs.ValidStatus(status) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("parameter \"status\": unknown status %q", status))
+		return
+	}
+	after := ""
+	if tok := r.URL.Query().Get("page_token"); tok != "" {
+		after, err = decodeJobPageToken(tok)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	list, more := s.jobs.Page(after, limit, status)
 	views := make([]jobPayload, 0, len(list))
 	for _, j := range list {
 		views = append(views, jobView(j))
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+	resp := map[string]any{"jobs": views}
+	if more {
+		resp["next_page_token"] = encodeJobPageToken(list[len(list)-1].ID)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Runs the paper experiment grid end to end: builds cmd/serve and
+# cmd/loadgen, sweeps corpora × concurrency × workload mixes per
+# scripts/paper/experiments.json (each cell boots a fresh server on a
+# freshly generated synthetic corpus, waits on /v1/ready, then
+# measures), and leaves per-cell CSVs, summary tables and the
+# top-level BENCH_loadgen.json under the output directory — with
+# BENCH_loadgen.json also copied to the repo root as the recorded
+# performance trajectory point for this commit.
+#
+# Usage:
+#   scripts/paper/run_all.sh [experiments.json] [outdir]
+#
+# Defaults: scripts/paper/experiments.json, bench/loadgen.
+# The smoke variant CI runs: scripts/paper/run_all.sh scripts/paper/experiments_smoke.json
+set -euo pipefail
+
+cd "$(dirname "$0")/../.."
+
+CONFIG="${1:-scripts/paper/experiments.json}"
+OUTDIR="${2:-bench/loadgen}"
+BIN=bin
+
+echo "== building serve + loadgen" >&2
+mkdir -p "$BIN"
+go build -o "$BIN/serve" ./cmd/serve
+go build -o "$BIN/loadgen" ./cmd/loadgen
+
+echo "== running grid $CONFIG -> $OUTDIR" >&2
+"$BIN/loadgen" -grid "$CONFIG" -serve-bin "$BIN/serve" -out "$OUTDIR"
+
+cp "$OUTDIR/BENCH_loadgen.json" BENCH_loadgen.json
+echo "== done: $OUTDIR/summary.md, BENCH_loadgen.json" >&2

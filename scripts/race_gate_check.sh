@@ -31,6 +31,7 @@ bioenrich/internal/synth	seeded corpus synthesizer, single goroutine
 bioenrich/internal/termex	pure term extraction
 bioenrich/internal/textutil	pure string utilities
 bioenrich/internal/storage/fsio	sequential file primitives, no goroutines
+bioenrich/internal/buildinfo	pure build-metadata read (debug.ReadBuildInfo), no goroutines
 EOF
 }
 
